@@ -1,0 +1,232 @@
+(* Benchmark harness.
+
+   Running with no arguments regenerates every table and figure of the
+   paper over one pipeline instance (the trace-driven experiments of
+   Sections 4 and 7) and then times the computational kernels behind each
+   table with Bechamel (one Test.make cluster per table).
+
+   Arguments:
+     table1 | figure2 | reuse | table2 | figure3 | table3 | table4
+       | ablation | micro      — run a single part
+     --quick                   — reduced kernel and scale factor
+     --scale SF                — override the TPC-D scale factor *)
+
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+module L = Stc_layout
+module F = Stc_fetch
+module P = Stc_profile
+
+let parse_args () =
+  let quick = ref false and scale = ref None and parts = ref [] in
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      go rest
+    | "--scale" :: v :: rest ->
+      scale := Some (float_of_string v);
+      go rest
+    | part :: rest ->
+      parts := part :: !parts;
+      go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!quick, !scale, List.rev !parts)
+
+let quick, scale, parts = parse_args ()
+
+let wants part = parts = [] || List.mem part parts
+
+let pipeline =
+  lazy
+    (let config =
+       if quick then Pipeline.quick_config else Pipeline.default_config
+     in
+     let config =
+       match scale with Some sf -> { config with Pipeline.sf } | None -> config
+     in
+     Printf.printf "[setup] building kernel and traces (sf=%.4g)...\n%!"
+       config.Pipeline.sf;
+     let t0 = Unix.gettimeofday () in
+     let pl = Pipeline.run ~config () in
+     Printf.printf "[setup] done in %.1fs (test trace: %d blocks)\n\n%!"
+       (Unix.gettimeofday () -. t0)
+       (Stc_trace.Recorder.length pl.Pipeline.test);
+     pl)
+
+let section title = Printf.printf "==== %s ====\n%!" title
+
+(* ---------- Figure 3: the trace-building worked example ---------- *)
+
+let print_figure3 () =
+  section "Figure 3 (trace building example)";
+  let prog, profile, seeds = Stc_core.Figure3.graph () in
+  ignore prog;
+  let seqs =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = 4; branch_threshold = 0.4 }
+      ~seeds
+  in
+  List.iteri
+    (fun i seq ->
+      Printf.printf "  %s trace: %s\n"
+        (if i = 0 then "Main     " else "Secondary")
+        (String.concat " -> " (List.map (Stc_core.Figure3.label) seq)))
+    seqs
+
+(* ---------- table reproductions ---------- *)
+
+let run_tables () =
+  let pl = lazy (Lazy.force pipeline) in
+  let pl () = Lazy.force pl in
+  if wants "table1" then begin
+    section "Table 1";
+    E.print_table1 (E.table1 (pl ()));
+    print_newline ()
+  end;
+  if wants "figure2" then begin
+    section "Figure 2";
+    E.print_figure2 (pl ());
+    print_newline ()
+  end;
+  if wants "reuse" then begin
+    section "Reuse (Section 4.1)";
+    E.print_reuse (E.reuse (pl ()));
+    print_newline ()
+  end;
+  if wants "table2" then begin
+    section "Table 2";
+    E.print_table2 (E.table2 (pl ()));
+    print_newline ()
+  end;
+  if wants "figure3" then begin
+    print_figure3 ();
+    print_newline ()
+  end;
+  if wants "table3" || wants "table4" then begin
+    section "Tables 3 and 4 (trace-driven simulation)";
+    let t0 = Unix.gettimeofday () in
+    let rows = E.simulate (pl ()) in
+    Printf.printf "(%d simulations in %.1fs)\n\n%!" (List.length rows)
+      (Unix.gettimeofday () -. t0);
+    if wants "table3" then begin
+      E.print_table3 rows;
+      print_newline ()
+    end;
+    if wants "table4" then begin
+      E.print_table4 rows;
+      print_newline ();
+      E.print_sequentiality rows;
+      print_newline ()
+    end
+  end;
+  if wants "ablation" && parts <> [] then begin
+    section "Ablation";
+    E.print_ablation (E.ablation (pl ()));
+    print_newline ()
+  end;
+  if wants "extensions" then begin
+    section "Extensions (Section 8 future work)";
+    let p = pl () in
+    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining p);
+    print_newline ();
+    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp p);
+    print_newline ();
+    Stc_core.Extensions.print_prediction (Stc_core.Extensions.prediction p);
+    print_newline ();
+    Stc_core.Extensions.print_tuning p;
+    print_newline ();
+    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query p);
+    print_newline ();
+    Stc_core.Extensions.print_fetch_units (Stc_core.Extensions.fetch_units p);
+    print_newline ();
+    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity p);
+    print_newline ()
+  end
+
+(* ---------- Bechamel micro-benchmarks ---------- *)
+
+let micro () =
+  section "Bechamel micro-benchmarks (kernels behind each table)";
+  let open Bechamel in
+  let open Toolkit in
+  (* small fixed inputs so each run is a few milliseconds at most *)
+  let config = { Pipeline.quick_config with Pipeline.sf = 0.0003 } in
+  let pl = Pipeline.run ~config () in
+  let prog = pl.Pipeline.program in
+  let profile = pl.Pipeline.profile in
+  let params =
+    L.Stc.params ~exec_threshold:20 ~branch_threshold:0.3 ~cache_bytes:16384
+      ~cfa_bytes:4096 ()
+  in
+  let ops_layout =
+    L.Stc.layout profile ~name:"ops" ~params ~seeds:(L.Stc.ops_seeds profile)
+  in
+  let view = F.View.create prog ops_layout pl.Pipeline.test in
+  let tests =
+    [
+      (* Table 1 / Figure 2 / Table 2: profiling throughput *)
+      Test.make ~name:"table1-2/profile-trace"
+        (Staged.stage (fun () ->
+             let p = P.Profile.create prog in
+             Pipeline.replay_training pl (P.Profile.sink p)));
+      Test.make ~name:"table2/determinism"
+        (Staged.stage (fun () -> ignore (P.Determinism.compute profile)));
+      (* Figure 3 / Tables 3-4 layout side: sequence building + mapping *)
+      Test.make ~name:"fig3/seqbuild"
+        (Staged.stage (fun () ->
+             ignore
+               (L.Seqbuild.build profile ~params:params.L.Stc.seq
+                  ~seeds:(L.Stc.ops_seeds profile))));
+      Test.make ~name:"table3-4/stc-layout"
+        (Staged.stage (fun () ->
+             ignore
+               (L.Stc.layout profile ~name:"ops" ~params
+                  ~seeds:(L.Stc.ops_seeds profile))));
+      Test.make ~name:"table3-4/pettis-hansen"
+        (Staged.stage (fun () -> ignore (L.Pettis_hansen.layout profile)));
+      (* Table 3: cache simulation throughput *)
+      Test.make ~name:"table3/icache-sim"
+        (Staged.stage (fun () ->
+             let c = Stc_cachesim.Icache.create ~size_bytes:16384 () in
+             let r =
+               F.Engine.run ~icache:c F.Engine.default_config view
+             in
+             ignore r.F.Engine.icache_misses));
+      (* Table 4: fetch + trace cache simulation throughput *)
+      Test.make ~name:"table4/fetch-tc-sim"
+        (Staged.stage (fun () ->
+             let c = Stc_cachesim.Icache.create ~size_bytes:16384 () in
+             let tc = F.Tracecache.create () in
+             let r =
+               F.Engine.run ~icache:c ~trace_cache:tc F.Engine.default_config
+                 view
+             in
+             ignore r.F.Engine.tc_hits));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 1.0) ~kde:(Some 10) ()
+  in
+  let grouped = Test.make_grouped ~name:"stc" ~fmt:"%s %s" tests in
+  let raw = Benchmark.all cfg [ instance ] grouped in
+  let results = Analyze.all ols instance raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%12.0f ns/run" t
+        | Some [] | None -> "(no estimate)"
+      in
+      Printf.printf "  %-28s %s\n%!" name est)
+    (List.sort compare rows)
+
+let () =
+  run_tables ();
+  if wants "micro" then micro ()

@@ -1,0 +1,173 @@
+(* Command-line driver: regenerate the paper's tables and figures. *)
+
+open Cmdliner
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+
+let pipeline_config quick sf seed frames =
+  let base = if quick then Pipeline.quick_config else Pipeline.default_config in
+  let base = match sf with Some sf -> { base with Pipeline.sf } | None -> base in
+  let base =
+    match seed with
+    | Some s ->
+      {
+        base with
+        Pipeline.data_seed = Int64.of_int s;
+        walker_seed = Int64.of_int (s + 17);
+        kernel = { base.Pipeline.kernel with Stc_synth.Kernel.seed = Int64.of_int (s + 34) };
+      }
+    | None -> base
+  in
+  { base with Pipeline.frames }
+
+let sim_config exec_threshold branch_threshold =
+  {
+    E.default_sim_config with
+    E.exec_threshold;
+    branch_threshold;
+  }
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced kernel and scale factor (fast).")
+
+let sf_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "scale" ] ~docv:"SF" ~doc:"TPC-D scale factor (default 0.002).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "seed" ] ~docv:"N" ~doc:"Master seed for kernel, data and walker.")
+
+let frames_arg =
+  Arg.(
+    value & opt int 256
+    & info [ "frames" ] ~docv:"N" ~doc:"Buffer-pool frames per database.")
+
+let exec_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "exec-threshold" ] ~docv:"N" ~doc:"STC Exec Threshold (pass 2).")
+
+let branch_arg =
+  Arg.(
+    value & opt float 0.3
+    & info [ "branch-threshold" ] ~docv:"P" ~doc:"STC Branch Threshold.")
+
+let setup quick sf seed frames =
+  let config = pipeline_config quick sf seed frames in
+  Printf.printf
+    "Building kernel, loading TPC-D data (sf=%.4g), tracing Training and Test sets...\n%!"
+    config.Pipeline.sf;
+  let t0 = Unix.gettimeofday () in
+  let pl = Pipeline.run ~config () in
+  Printf.printf "Setup done in %.1fs: test trace has %d basic blocks.\n\n%!"
+    (Unix.gettimeofday () -. t0)
+    (Stc_trace.Recorder.length pl.Pipeline.test);
+  pl
+
+let characterize_cmd =
+  let run quick sf seed frames =
+    let pl = setup quick sf seed frames in
+    E.print_table1 (E.table1 pl);
+    print_newline ();
+    E.print_figure2 pl;
+    print_newline ();
+    E.print_reuse (E.reuse pl);
+    print_newline ();
+    E.print_table2 (E.table2 pl)
+  in
+  Cmd.v
+    (Cmd.info "characterize" ~doc:"Section 4: Table 1, Figure 2, reuse, Table 2.")
+    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+
+let simulate_cmd =
+  let run quick sf seed frames exec branch =
+    let pl = setup quick sf seed frames in
+    Printf.printf "Simulating the full Table 3 / Table 4 grid...\n%!";
+    let t0 = Unix.gettimeofday () in
+    let rows = E.simulate ~config:(sim_config exec branch) pl in
+    Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
+      (Unix.gettimeofday () -. t0);
+    E.print_table3 rows;
+    print_newline ();
+    E.print_table4 rows;
+    print_newline ();
+    E.print_sequentiality rows
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.")
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
+      $ branch_arg)
+
+let ablation_cmd =
+  let run quick sf seed frames =
+    let pl = setup quick sf seed frames in
+    E.print_ablation (E.ablation pl)
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
+    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+
+let extensions_cmd =
+  let run quick sf seed frames =
+    let pl = setup quick sf seed frames in
+    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining pl);
+    print_newline ();
+    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp pl);
+    print_newline ();
+    Stc_core.Extensions.print_prediction (Stc_core.Extensions.prediction pl);
+    print_newline ();
+    Stc_core.Extensions.print_tuning pl;
+    print_newline ();
+    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query pl);
+    print_newline ();
+    Stc_core.Extensions.print_fetch_units (Stc_core.Extensions.fetch_units pl);
+    print_newline ();
+    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity pl)
+  in
+  Cmd.v
+    (Cmd.info "extensions"
+       ~doc:
+         "Section 8 future work: inlining, OLTP, branch prediction,           auto-tuning.")
+    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+
+let all_cmd =
+  let run quick sf seed frames exec branch =
+    let pl = setup quick sf seed frames in
+    E.print_table1 (E.table1 pl);
+    print_newline ();
+    E.print_figure2 pl;
+    print_newline ();
+    E.print_reuse (E.reuse pl);
+    print_newline ();
+    E.print_table2 (E.table2 pl);
+    print_newline ();
+    let rows = E.simulate ~config:(sim_config exec branch) pl in
+    E.print_table3 rows;
+    print_newline ();
+    E.print_table4 rows;
+    print_newline ();
+    E.print_sequentiality rows
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Every table and figure.")
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
+      $ branch_arg)
+
+let () =
+  let info =
+    Cmd.info "stc_repro"
+      ~doc:
+        "Reproduction of 'Optimization of Instruction Fetch for Decision \
+         Support Workloads' (Ramirez et al., ICPP 1999)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ characterize_cmd; simulate_cmd; ablation_cmd; extensions_cmd; all_cmd ]))

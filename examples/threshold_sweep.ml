@@ -1,0 +1,36 @@
+(* Ablation of the STC parameters (Section 5.1 / the paper's future-work
+   note on automating threshold selection): sweep the Exec Threshold, the
+   Branch Threshold and the CFA size, and watch the interior optimum in
+   the CFA dimension that Section 7.2 describes.
+
+   Run with:  dune exec examples/threshold_sweep.exe [-- SF] *)
+
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+
+let () =
+  let sf = try float_of_string Sys.argv.(1) with _ -> 0.001 in
+  let config = { Pipeline.quick_config with Pipeline.sf } in
+  let pl = Pipeline.run ~config () in
+  let rows =
+    E.ablation ~cache_kb:16
+      ~exec_thresholds:[ 1; 20; 100; 1000 ]
+      ~branch_thresholds:[ 0.1; 0.4 ]
+      ~cfa_kbs:[ 1; 2; 4; 8; 12 ] pl
+  in
+  E.print_ablation rows;
+  (* Locate the best configuration. *)
+  let best =
+    List.fold_left
+      (fun acc r ->
+        match acc with
+        | Some b when b.E.a_bandwidth >= r.E.a_bandwidth -> acc
+        | _ -> Some r)
+      None rows
+  in
+  match best with
+  | Some b ->
+    Printf.printf
+      "\nBest bandwidth %.2f IPC at ExecThresh=%d BranchThresh=%.2f CFA=%dKB\n"
+      b.E.a_bandwidth b.E.a_exec b.E.a_branch b.E.a_cfa_kb
+  | None -> ()

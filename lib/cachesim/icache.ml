@@ -1,0 +1,132 @@
+module Bits = Stc_util.Bits
+
+type t = {
+  assoc : int;
+  line_bits : int;
+  n_sets : int;
+  set_mask : int;
+  size : int;
+  tags : int array; (* set * assoc + way -> line number, -1 invalid *)
+  stamps : int array; (* LRU timestamps, parallel to tags *)
+  v_tags : int array; (* victim buffer, -1 invalid *)
+  v_stamps : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+  mutable victim_hits : int;
+}
+
+let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ~size_bytes () =
+  if assoc < 1 then invalid_arg "Icache.create: assoc must be >= 1";
+  if not (Bits.is_pow2 line_bytes) then
+    invalid_arg "Icache.create: line_bytes must be a power of two";
+  if size_bytes <= 0 || size_bytes mod (assoc * line_bytes) <> 0 then
+    invalid_arg "Icache.create: size must be a multiple of assoc * line";
+  let n_sets = size_bytes / (assoc * line_bytes) in
+  if not (Bits.is_pow2 n_sets) then
+    invalid_arg "Icache.create: set count must be a power of two";
+  {
+    assoc;
+    line_bits = Bits.log2_exact line_bytes;
+    n_sets;
+    set_mask = n_sets - 1;
+    size = size_bytes;
+    tags = Array.make (n_sets * assoc) (-1);
+    stamps = Array.make (n_sets * assoc) 0;
+    v_tags = Array.make victim_lines (-1);
+    v_stamps = Array.make victim_lines 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+    victim_hits = 0;
+  }
+
+let line_bytes t = 1 lsl t.line_bits
+
+let size_bytes t = t.size
+
+let accesses t = t.accesses
+
+let misses t = t.misses
+
+let victim_hits t = t.victim_hits
+
+let reset_stats t =
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.victim_hits <- 0
+
+let flush t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.v_tags 0 (Array.length t.v_tags) (-1);
+  t.clock <- 0;
+  reset_stats t
+
+(* Probe the victim buffer for [line]; on hit, replace that slot with
+   [evicted] and return true. On miss, insert [evicted] over the LRU slot
+   and return false. *)
+let victim_swap t line evicted =
+  let n = Array.length t.v_tags in
+  if n = 0 then false
+  else begin
+    let found = ref (-1) in
+    for i = 0 to n - 1 do
+      if t.v_tags.(i) = line then found := i
+    done;
+    if !found >= 0 then begin
+      t.v_tags.(!found) <- evicted;
+      t.v_stamps.(!found) <- t.clock;
+      true
+    end
+    else begin
+      let lru = ref 0 in
+      for i = 1 to n - 1 do
+        if
+          t.v_tags.(i) = -1
+          || (t.v_tags.(!lru) <> -1 && t.v_stamps.(i) < t.v_stamps.(!lru))
+        then lru := i
+      done;
+      if evicted <> -1 then begin
+        t.v_tags.(!lru) <- evicted;
+        t.v_stamps.(!lru) <- t.clock
+      end;
+      false
+    end
+  end
+
+let access t addr =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let base = set * t.assoc in
+  let hit_way = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    t.stamps.(base + !hit_way) <- t.clock;
+    true
+  end
+  else begin
+    (* choose the victim way: an invalid slot, else LRU *)
+    let way = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if
+        t.tags.(base + w) = -1
+        || (t.tags.(base + !way) <> -1
+            && t.stamps.(base + w) < t.stamps.(base + !way))
+      then way := w
+    done;
+    let evicted = t.tags.(base + !way) in
+    t.tags.(base + !way) <- line;
+    t.stamps.(base + !way) <- t.clock;
+    if victim_swap t line evicted then begin
+      t.victim_hits <- t.victim_hits + 1;
+      true
+    end
+    else begin
+      t.misses <- t.misses + 1;
+      false
+    end
+  end

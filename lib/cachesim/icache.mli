@@ -1,0 +1,40 @@
+(** Instruction-cache simulator: direct-mapped or set-associative with
+    LRU, optionally backed by a small fully-associative victim cache
+    (Jouppi), as in the hardware alternatives of Table 3.
+
+    Addresses are byte addresses; state is updated on every access. *)
+
+type t
+
+val create :
+  ?assoc:int ->
+  ?line_bytes:int ->
+  ?victim_lines:int ->
+  size_bytes:int ->
+  unit ->
+  t
+(** Defaults: direct-mapped ([assoc = 1]), 32-byte lines (8 instructions,
+    the SEQ.3 half-width), no victim cache ([victim_lines = 0]).
+    [size_bytes] must be a power of two and a multiple of
+    [assoc * line_bytes]. *)
+
+val access : t -> int -> bool
+(** [access t addr] touches the line containing [addr]; returns [true] on
+    a hit. A victim-cache hit counts as a hit (the line is swapped back
+    into the main cache). *)
+
+val line_bytes : t -> int
+
+val size_bytes : t -> int
+
+val accesses : t -> int
+
+val misses : t -> int
+(** True misses (not satisfied by the cache nor its victim buffer). *)
+
+val victim_hits : t -> int
+
+val reset_stats : t -> unit
+
+val flush : t -> unit
+(** Invalidate all contents and reset statistics. *)

@@ -1,0 +1,35 @@
+type subsystem =
+  | Parser
+  | Optimizer
+  | Executor
+  | Access_methods
+  | Buffer_manager
+  | Storage_manager
+  | Utility
+  | Other
+
+type t = {
+  pid : int;
+  name : string;
+  subsystem : subsystem;
+  entry : int;
+  blocks : int array;
+}
+
+let subsystem_name = function
+  | Parser -> "Parser"
+  | Optimizer -> "Optimizer"
+  | Executor -> "Executor"
+  | Access_methods -> "Access Methods"
+  | Buffer_manager -> "Buffer Manager"
+  | Storage_manager -> "Storage Manager"
+  | Utility -> "Utility"
+  | Other -> "Other"
+
+let size t ~blocks =
+  Array.fold_left (fun acc bid -> acc + blocks.(bid).Block.size) 0 t.blocks
+
+let pp ppf t =
+  Format.fprintf ppf "p%d:%s[%s] (%d blocks)" t.pid t.name
+    (subsystem_name t.subsystem)
+    (Array.length t.blocks)

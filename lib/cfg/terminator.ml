@@ -1,0 +1,38 @@
+type t =
+  | Fall of int
+  | Jump of int
+  | Cond of { taken : int; fallthru : int }
+  | Call of { callee : int; next : int }
+  | Icall of { callees : int array; next : int }
+  | Ret
+
+type kind = Fall_through | Branch | Subroutine_call | Subroutine_return
+
+let kind = function
+  | Fall _ -> Fall_through
+  | Jump _ | Cond _ -> Branch
+  | Call _ | Icall _ -> Subroutine_call
+  | Ret -> Subroutine_return
+
+let kind_name = function
+  | Fall_through -> "Fall-through"
+  | Branch -> "Branch"
+  | Subroutine_call -> "Subroutine call"
+  | Subroutine_return -> "Subroutine return"
+
+let has_branch_instr = function Fall _ -> false | _ -> true
+
+let intra_successors = function
+  | Fall b | Jump b -> [ b ]
+  | Cond { taken; fallthru } -> [ taken; fallthru ]
+  | Call { next; _ } | Icall { next; _ } -> [ next ]
+  | Ret -> []
+
+let pp ppf = function
+  | Fall b -> Format.fprintf ppf "fall %d" b
+  | Jump b -> Format.fprintf ppf "jump %d" b
+  | Cond { taken; fallthru } -> Format.fprintf ppf "cond %d/%d" taken fallthru
+  | Call { callee; next } -> Format.fprintf ppf "call p%d -> %d" callee next
+  | Icall { callees; next } ->
+    Format.fprintf ppf "icall [%d targets] -> %d" (Array.length callees) next
+  | Ret -> Format.fprintf ppf "ret"

@@ -1,0 +1,505 @@
+module P = Stc_profile
+module L = Stc_layout
+module F = Stc_fetch
+module Tbl = Stc_util.Tbl
+
+(* ---------- characterization ---------- *)
+
+let table1 (pl : Pipeline.t) = P.Footprint.compute pl.Pipeline.profile
+
+let print_table1 (fp : P.Footprint.t) =
+  let t =
+    Tbl.create
+      ~headers:
+        [ ("", Tbl.Left); ("Total", Tbl.Right); ("Executed", Tbl.Right); ("Percent", Tbl.Right) ]
+  in
+  let open P.Footprint in
+  Tbl.add_row t
+    [
+      "Procedures";
+      string_of_int fp.procs_total;
+      string_of_int fp.procs_executed;
+      Tbl.fpct (pct fp.procs_executed fp.procs_total) ^ "%";
+    ];
+  Tbl.add_row t
+    [
+      "Basic blocks";
+      string_of_int fp.blocks_total;
+      string_of_int fp.blocks_executed;
+      Tbl.fpct (pct fp.blocks_executed fp.blocks_total) ^ "%";
+    ];
+  Tbl.add_row t
+    [
+      "Instructions";
+      string_of_int fp.instrs_total;
+      string_of_int fp.instrs_executed;
+      Tbl.fpct (pct fp.instrs_executed fp.instrs_total) ^ "%";
+    ];
+  print_endline "Table 1. Static program elements and the fraction used.";
+  Tbl.print t
+
+let figure2 ?(max_blocks = 3000) ?(step = 250) (pl : Pipeline.t) =
+  let pop = P.Popularity.compute pl.Pipeline.profile in
+  P.Popularity.curve pop ~max_blocks ~step
+
+let print_figure2 (pl : Pipeline.t) =
+  let pop = P.Popularity.compute pl.Pipeline.profile in
+  let t =
+    Tbl.create ~headers:[ ("Blocks", Tbl.Right); ("Cumulative references", Tbl.Right) ]
+  in
+  List.iter
+    (fun (n, share) ->
+      Tbl.add_row t [ string_of_int n; Tbl.fpct (100.0 *. share) ^ "%" ])
+    (P.Popularity.curve pop ~max_blocks:3000 ~step:250);
+  print_endline
+    "Figure 2. Percentage of dynamic basic block references captured by";
+  print_endline "the N most popular static blocks.";
+  Tbl.print t;
+  Printf.printf "90%% of references in %d blocks; 99%% in %d blocks (of %d executed)\n"
+    (P.Popularity.blocks_for_share pop 0.90)
+    (P.Popularity.blocks_for_share pop 0.99)
+    (P.Popularity.executed_blocks pop)
+
+type reuse_stats = {
+  tracked_share : float;
+  below_100 : float;
+  below_250 : float;
+  samples : int;
+}
+
+let reuse ?(share = 0.75) (pl : Pipeline.t) =
+  let member = P.Reuse.popular_set pl.Pipeline.profile ~share in
+  let r = P.Reuse.create pl.Pipeline.program ~member in
+  Pipeline.replay_training pl (P.Reuse.sink r);
+  {
+    tracked_share = share;
+    below_100 = P.Reuse.mass_below r 100;
+    below_250 = P.Reuse.mass_below r 250;
+    samples = P.Reuse.samples r;
+  }
+
+let print_reuse r =
+  Printf.printf
+    "Temporal reuse (Section 4.1): of the blocks concentrating %.0f%% of the\n\
+     references, re-execution happens within 100 instructions with\n\
+     probability %.0f%%, and within 250 instructions with probability %.0f%%\n\
+     (%d re-invocation intervals).\n"
+    (100.0 *. r.tracked_share)
+    (100.0 *. r.below_100)
+    (100.0 *. r.below_250)
+    r.samples
+
+let table2 (pl : Pipeline.t) = P.Determinism.compute pl.Pipeline.profile
+
+let print_table2 (d : P.Determinism.t) =
+  let t =
+    Tbl.create
+      ~headers:
+        [
+          ("BB Type", Tbl.Left);
+          ("Static", Tbl.Right);
+          ("Dynamic", Tbl.Right);
+          ("Predictable", Tbl.Right);
+        ]
+  in
+  List.iter
+    (fun (r : P.Determinism.row) ->
+      Tbl.add_row t
+        [
+          Stc_cfg.Terminator.kind_name r.P.Determinism.kind;
+          Tbl.fpct r.static_pct ^ "%";
+          Tbl.fpct r.dynamic_pct ^ "%";
+          Tbl.fpct r.predictable_pct ^ "%";
+        ])
+    d.P.Determinism.rows;
+  print_endline "Table 2. Executed basic blocks by type, and fixed behaviour.";
+  Tbl.print t;
+  Printf.printf "Overall, %.1f%% of the basic block transitions are predictable.\n"
+    d.P.Determinism.overall_predictable_pct
+
+(* ---------- simulation ---------- *)
+
+type sim_config = {
+  exec_threshold : int;
+  branch_threshold : float;
+  line_bytes : int;
+  miss_penalty : int;
+  tc_entries : int;
+  grid : (int * int list) list;
+}
+
+let default_sim_config =
+  {
+    exec_threshold = 50;
+    branch_threshold = 0.3;
+    line_bytes = 32;
+    miss_penalty = 5;
+    tc_entries = 256;
+    grid = [ (8, [ 2; 4; 6 ]); (16, [ 4; 8; 12 ]); (32, [ 4; 8; 16; 24 ]); (64, [ 8; 16; 24 ]) ];
+  }
+
+type variant = Direct | Two_way | Victim | Ideal | Trace_cache | Tc_ideal
+
+type row = {
+  layout : string;
+  cache_kb : int;
+  cfa_kb : int;
+  variant : variant;
+  miss_pct : float;
+  bandwidth : float;
+  instrs_between_taken : float;
+  tc_hit_pct : float;
+}
+
+let engine_config (c : sim_config) =
+  {
+    F.Engine.max_branches = 3;
+    line_bytes = c.line_bytes;
+    miss_penalty = c.miss_penalty;
+  }
+
+let run_one (c : sim_config) (pl : Pipeline.t) layout variant ~cache_kb ~cfa_kb =
+  let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
+  let icache =
+    match variant with
+    | Ideal | Tc_ideal -> None
+    | Direct | Trace_cache ->
+      Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
+    | Two_way ->
+      Some (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
+    | Victim ->
+      Some
+        (Stc_cachesim.Icache.create ~victim_lines:16
+           ~size_bytes:(cache_kb * 1024) ())
+  in
+  let trace_cache =
+    match variant with
+    | Trace_cache | Tc_ideal -> Some (F.Tracecache.create ~entries:c.tc_entries ())
+    | Direct | Two_way | Victim | Ideal -> None
+  in
+  let r = F.Engine.run ?icache ?trace_cache (engine_config c) view in
+  {
+    layout = layout.L.Layout.name;
+    cache_kb = (match variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
+    cfa_kb;
+    variant;
+    miss_pct = F.Engine.miss_rate_pct r;
+    bandwidth = F.Engine.bandwidth r;
+    instrs_between_taken = r.F.Engine.instrs_between_taken;
+    tc_hit_pct =
+      (if r.F.Engine.tc_lookups = 0 then 0.0
+       else
+         100.0 *. float_of_int r.F.Engine.tc_hits
+         /. float_of_int r.F.Engine.tc_lookups);
+  }
+
+let stc_params (c : sim_config) ~cache_bytes ~cfa_bytes =
+  L.Stc.params ~exec_threshold:c.exec_threshold
+    ~branch_threshold:c.branch_threshold ~cache_bytes ~cfa_bytes ()
+
+let simulate ?(config = default_sim_config) (pl : Pipeline.t) =
+  let profile = pl.Pipeline.profile in
+  let orig = L.Original.layout pl.Pipeline.program in
+  let ph = L.Pettis_hansen.layout profile in
+  let rows = ref [] in
+  let emit r = rows := r :: !rows in
+  (* ideal (perfect cache) for the fixed layouts *)
+  emit (run_one config pl orig Ideal ~cache_kb:0 ~cfa_kb:(-1));
+  emit (run_one config pl ph Ideal ~cache_kb:0 ~cfa_kb:(-1));
+  emit (run_one config pl orig Tc_ideal ~cache_kb:0 ~cfa_kb:(-1));
+  List.iter
+    (fun (cache_kb, cfas) ->
+      let cache_bytes = cache_kb * 1024 in
+      (* layout-independent rows, once per cache size *)
+      emit (run_one config pl orig Direct ~cache_kb ~cfa_kb:(-1));
+      emit (run_one config pl orig Two_way ~cache_kb ~cfa_kb:(-1));
+      emit (run_one config pl orig Victim ~cache_kb ~cfa_kb:(-1));
+      emit (run_one config pl orig Trace_cache ~cache_kb ~cfa_kb:(-1));
+      emit (run_one config pl ph Direct ~cache_kb ~cfa_kb:(-1));
+      List.iter
+        (fun cfa_kb ->
+          let cfa_bytes = cfa_kb * 1024 in
+          let params = stc_params config ~cache_bytes ~cfa_bytes in
+          let torr =
+            L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
+              ~cache_bytes ~cfa_bytes
+          in
+          let auto =
+            L.Stc.layout profile ~name:"auto" ~params
+              ~seeds:(L.Stc.auto_seeds profile)
+          in
+          let ops =
+            L.Stc.layout profile ~name:"ops" ~params
+              ~seeds:(L.Stc.ops_seeds profile)
+          in
+          List.iter
+            (fun layout ->
+              emit (run_one config pl layout Direct ~cache_kb ~cfa_kb);
+              emit (run_one config pl layout Ideal ~cache_kb ~cfa_kb))
+            [ torr; auto; ops ];
+          (* software + hardware trace cache *)
+          emit (run_one config pl ops Trace_cache ~cache_kb ~cfa_kb);
+          emit (run_one config pl ops Tc_ideal ~cache_kb ~cfa_kb))
+        cfas)
+    config.grid;
+  List.rev !rows
+
+(* ---------- table rendering ---------- *)
+
+let find rows ~layout ~cache_kb ~cfa_kb ~variant =
+  List.find_opt
+    (fun r ->
+      String.equal r.layout layout
+      && r.cache_kb = cache_kb && r.cfa_kb = cfa_kb && r.variant = variant)
+    rows
+
+let cell f = function Some r -> f r | None -> "-"
+
+let miss_cell = cell (fun r -> Tbl.fmiss r.miss_pct)
+
+let bw_cell = cell (fun r -> Tbl.f2 r.bandwidth)
+
+let grid_of rows =
+  (* recover the grid from the rows *)
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      if r.variant = Direct && r.cfa_kb >= 0 then begin
+        let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r.cache_kb) in
+        if not (List.mem r.cfa_kb cur) then
+          Hashtbl.replace tbl r.cache_kb (r.cfa_kb :: cur)
+      end)
+    rows;
+  Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) tbl []
+  |> List.sort compare
+
+let print_table3 rows =
+  let t =
+    Tbl.create
+      ~headers:
+        [
+          ("i-cache/CFA", Tbl.Left);
+          ("orig", Tbl.Right);
+          ("P&H", Tbl.Right);
+          ("Torr", Tbl.Right);
+          ("auto", Tbl.Right);
+          ("ops", Tbl.Right);
+          ("2-way", Tbl.Right);
+          ("victim", Tbl.Right);
+        ]
+  in
+  let grid = grid_of rows in
+  let last_group = List.length grid - 1 in
+  List.iteri
+    (fun gi (cache_kb, cfas) ->
+      List.iteri
+        (fun i cfa_kb ->
+          let first = i = 0 in
+          let fixed layout variant =
+            if first then
+              miss_cell (find rows ~layout ~cache_kb ~cfa_kb:(-1) ~variant)
+            else "-"
+          in
+          Tbl.add_row t
+            [
+              Printf.sprintf "%d/%d" cache_kb cfa_kb;
+              fixed "orig" Direct;
+              fixed "P&H" Direct;
+              miss_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb ~variant:Direct);
+              miss_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb ~variant:Direct);
+              miss_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Direct);
+              fixed "orig" Two_way;
+              fixed "orig" Victim;
+            ])
+        cfas;
+      if gi < last_group then Tbl.add_rule t)
+    grid;
+  print_endline
+    "Table 3. Instruction cache misses per 100 instructions executed.";
+  Tbl.print t
+
+let print_table4 rows =
+  let t =
+    Tbl.create
+      ~headers:
+        [
+          ("i-cache/CFA", Tbl.Left);
+          ("orig", Tbl.Right);
+          ("P&H", Tbl.Right);
+          ("Torr", Tbl.Right);
+          ("auto", Tbl.Right);
+          ("ops", Tbl.Right);
+          ("TC 16KB", Tbl.Right);
+          ("TC+ops", Tbl.Right);
+        ]
+  in
+  (* Ideal line *)
+  let ideal layout cfa_kb =
+    bw_cell (find rows ~layout ~cache_kb:0 ~cfa_kb ~variant:Ideal)
+  in
+  let ideal_range layout =
+    let vals =
+      List.filter_map
+        (fun r ->
+          if
+            String.equal r.layout layout
+            && r.variant = Ideal && r.cache_kb = 0 && r.cfa_kb >= 0
+          then Some r.bandwidth
+          else None)
+        rows
+    in
+    match vals with
+    | [] -> "-"
+    | _ ->
+      let lo = List.fold_left min infinity vals
+      and hi = List.fold_left max neg_infinity vals in
+      if hi -. lo < 0.05 then Tbl.f2 hi
+      else Printf.sprintf "%s-%s" (Tbl.f2 lo) (Tbl.f2 hi)
+  in
+  let tc_ideal_range () =
+    let vals =
+      List.filter_map
+        (fun r ->
+          if r.variant = Tc_ideal && String.equal r.layout "ops" then
+            Some r.bandwidth
+          else None)
+        rows
+    in
+    match vals with
+    | [] -> "-"
+    | _ -> Tbl.f2 (List.fold_left max neg_infinity vals)
+  in
+  Tbl.add_row t
+    [
+      "Ideal";
+      ideal "orig" (-1);
+      ideal "P&H" (-1);
+      ideal_range "Torr";
+      ideal_range "auto";
+      ideal_range "ops";
+      bw_cell (find rows ~layout:"orig" ~cache_kb:0 ~cfa_kb:(-1) ~variant:Tc_ideal);
+      tc_ideal_range ();
+    ];
+  Tbl.add_rule t;
+  let grid = grid_of rows in
+  let last_group = List.length grid - 1 in
+  List.iteri
+    (fun gi (cache_kb, cfas) ->
+      List.iteri
+        (fun i cfa_kb ->
+          let first = i = 0 in
+          let fixed layout variant =
+            if first then
+              bw_cell (find rows ~layout ~cache_kb ~cfa_kb:(-1) ~variant)
+            else "-"
+          in
+          Tbl.add_row t
+            [
+              Printf.sprintf "%d/%d" cache_kb cfa_kb;
+              fixed "orig" Direct;
+              fixed "P&H" Direct;
+              bw_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb ~variant:Direct);
+              bw_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb ~variant:Direct);
+              bw_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Direct);
+              fixed "orig" Trace_cache;
+              bw_cell
+                (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Trace_cache);
+            ])
+        cfas;
+      if gi < last_group then Tbl.add_rule t)
+    grid;
+  print_endline
+    "Table 4. Fetch bandwidth (instructions per cycle), 5-cycle miss penalty.";
+  Tbl.print t
+
+let print_sequentiality rows =
+  let pick layout variant =
+    List.find_opt (fun r -> String.equal r.layout layout && r.variant = variant) rows
+  in
+  match (pick "orig" Ideal, pick "ops" Ideal) with
+  | Some o, Some s ->
+    Printf.printf
+      "Instructions executed between taken branches: %.1f (original code)\n\
+       -> %.1f (ops layout), a %.1fx increase.\n"
+      o.instrs_between_taken s.instrs_between_taken
+      (s.instrs_between_taken /. o.instrs_between_taken)
+  | _ -> print_endline "sequentiality: runs not found"
+
+(* ---------- ablation ---------- *)
+
+type ablation_row = {
+  a_exec : int;
+  a_branch : float;
+  a_cfa_kb : int;
+  a_miss_pct : float;
+  a_bandwidth : float;
+}
+
+let ablation ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
+    ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
+    (pl : Pipeline.t) =
+  let profile = pl.Pipeline.profile in
+  let rows = ref [] in
+  List.iter
+    (fun a_exec ->
+      List.iter
+        (fun a_branch ->
+          List.iter
+            (fun a_cfa_kb ->
+              let config =
+                {
+                  default_sim_config with
+                  exec_threshold = a_exec;
+                  branch_threshold = a_branch;
+                }
+              in
+              let params =
+                stc_params config ~cache_bytes:(cache_kb * 1024)
+                  ~cfa_bytes:(a_cfa_kb * 1024)
+              in
+              let ops =
+                L.Stc.layout profile ~name:"ops" ~params
+                  ~seeds:(L.Stc.ops_seeds profile)
+              in
+              let r =
+                run_one config pl ops Direct ~cache_kb ~cfa_kb:a_cfa_kb
+              in
+              rows :=
+                {
+                  a_exec;
+                  a_branch;
+                  a_cfa_kb;
+                  a_miss_pct = r.miss_pct;
+                  a_bandwidth = r.bandwidth;
+                }
+                :: !rows)
+            cfa_kbs)
+        branch_thresholds)
+    exec_thresholds;
+  List.rev !rows
+
+let print_ablation rows =
+  let t =
+    Tbl.create
+      ~headers:
+        [
+          ("ExecThresh", Tbl.Right);
+          ("BranchThresh", Tbl.Right);
+          ("CFA KB", Tbl.Right);
+          ("miss %", Tbl.Right);
+          ("IPC", Tbl.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          string_of_int r.a_exec;
+          Tbl.f2 r.a_branch;
+          string_of_int r.a_cfa_kb;
+          Tbl.fmiss r.a_miss_pct;
+          Tbl.f2 r.a_bandwidth;
+        ])
+    rows;
+  print_endline "Ablation: STC thresholds and CFA size (ops seeds).";
+  Tbl.print t

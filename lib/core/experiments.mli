@@ -1,0 +1,97 @@
+(** Reproduction of every table and figure of the paper's evaluation, over
+    a {!Pipeline} instance.
+
+    Naming follows the paper: Table 1 (footprint), Figure 2 (cumulative
+    popularity), the Section 4.1 reuse statistics, Table 2 (block-type mix
+    and determinism), Figure 3 (trace-building worked example — exercised
+    in the test suite), Table 3 (i-cache miss rates) and Table 4 (fetch
+    bandwidth), plus the threshold/CFA ablation the paper's Section 5.1
+    discussion calls for. *)
+
+(** {2 Characterization (Section 4)} *)
+
+val table1 : Pipeline.t -> Stc_profile.Footprint.t
+
+val print_table1 : Stc_profile.Footprint.t -> unit
+
+val figure2 : ?max_blocks:int -> ?step:int -> Pipeline.t -> (int * float) list
+(** Points (n, cumulative share of dynamic references). *)
+
+val print_figure2 : Pipeline.t -> unit
+(** The curve plus the headline numbers (blocks for 90 % and 99 %). *)
+
+type reuse_stats = {
+  tracked_share : float;  (** Popularity share of the tracked set (0.75). *)
+  below_100 : float;
+  below_250 : float;
+  samples : int;
+}
+
+val reuse : ?share:float -> Pipeline.t -> reuse_stats
+
+val print_reuse : reuse_stats -> unit
+
+val table2 : Pipeline.t -> Stc_profile.Determinism.t
+
+val print_table2 : Stc_profile.Determinism.t -> unit
+
+(** {2 Simulation (Section 7)} *)
+
+type sim_config = {
+  exec_threshold : int;  (** Pass-2 Exec Threshold of the STC builder. *)
+  branch_threshold : float;
+  line_bytes : int;
+  miss_penalty : int;
+  tc_entries : int;
+  grid : (int * int list) list;
+      (** (cache KB, CFA KB list) — Table 3/4's row structure. *)
+}
+
+val default_sim_config : sim_config
+(** The paper's grid: 8/(2,4,6), 16/(4,8,12), 32/(4,8,16,24), 64/(8,16,24);
+    32-byte lines, 5-cycle miss penalty, 256-entry trace cache. *)
+
+type variant = Direct | Two_way | Victim | Ideal | Trace_cache | Tc_ideal
+
+type row = {
+  layout : string;  (** "orig", "P&H", "Torr", "auto", "ops". *)
+  cache_kb : int;
+  cfa_kb : int;  (** [-1] when the layout has no CFA (orig, P&H). *)
+  variant : variant;
+  miss_pct : float;  (** I-cache misses per 100 instructions. *)
+  bandwidth : float;  (** Instructions per fetch cycle. *)
+  instrs_between_taken : float;
+  tc_hit_pct : float;  (** Trace-cache hit rate; 0 when no trace cache. *)
+}
+
+val simulate : ?config:sim_config -> Pipeline.t -> row list
+(** Run every configuration of Tables 3 and 4 once over the Test trace
+    (each row is one trace-driven simulation). *)
+
+val print_table3 : row list -> unit
+
+val print_table4 : row list -> unit
+
+val print_sequentiality : row list -> unit
+(** The "instructions between taken branches" headline (orig vs ops). *)
+
+(** {2 Ablation} *)
+
+type ablation_row = {
+  a_exec : int;
+  a_branch : float;
+  a_cfa_kb : int;
+  a_miss_pct : float;
+  a_bandwidth : float;
+}
+
+val ablation :
+  ?cache_kb:int ->
+  ?exec_thresholds:int list ->
+  ?branch_thresholds:float list ->
+  ?cfa_kbs:int list ->
+  Pipeline.t ->
+  ablation_row list
+(** Sweep the STC parameters (ops seeds) at one cache size. *)
+
+val print_ablation : ablation_row list -> unit

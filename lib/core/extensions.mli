@@ -1,0 +1,117 @@
+(** Experiments beyond the paper's tables, following its Section 8 future
+    work: function inlining, OLTP workloads, automatic threshold
+    selection, and branch-prediction sensitivity (the paper isolates
+    I-fetch with perfect prediction; here the assumption is relaxed). *)
+
+(** {2 Function inlining (code expansion)} *)
+
+type inline_row = {
+  i_variant : string;  (** "base" or "inlined". *)
+  i_layout : string;
+  i_miss : float;
+  i_ipc : float;
+  i_ibt : float;  (** Instructions between taken branches. *)
+}
+
+type inline_report = {
+  inl_sites : int;
+  inl_growth_pct : float;
+  inl_rows : inline_row list;
+}
+
+val inlining :
+  ?config:Stc_layout.Inline.config ->
+  ?cache_kb:int ->
+  ?cfa_kb:int ->
+  Pipeline.t ->
+  inline_report
+
+val print_inlining : inline_report -> unit
+
+(** {2 OLTP workload} *)
+
+type oltp_row = {
+  o_layout : string;
+  o_miss : float;
+  o_ipc : float;
+  o_ibt : float;
+}
+
+type oltp_report = {
+  oltp_trace_blocks : int;
+  oltp_rows : oltp_row list;
+}
+
+val oltp :
+  ?train_txns:int -> ?test_txns:int -> ?cache_kb:int -> Pipeline.t -> oltp_report
+(** Train the layouts on one OLTP transaction mix and evaluate on a
+    different one (both on the B-tree database). *)
+
+val print_oltp : oltp_report -> unit
+
+(** {2 Branch prediction sensitivity} *)
+
+type prediction_row = {
+  p_layout : string;
+  p_predictor : string;
+  p_accuracy : float;
+  p_ipc : float;
+}
+
+val prediction : ?cache_kb:int -> ?cfa_kb:int -> Pipeline.t -> prediction_row list
+
+val print_prediction : prediction_row list -> unit
+
+(** {2 Per-query breakdown} *)
+
+type query_row = {
+  q_name : string;  (** e.g. "btree/Q6". *)
+  q_blocks : int;
+  q_miss_orig : float;
+  q_miss_ops : float;
+}
+
+val per_query : ?cache_kb:int -> Pipeline.t -> query_row list
+(** I-cache miss rates per Test query (using the recorder marks), under
+    the original and the ops layouts. Caches are cold at each query start
+    (pessimistic, but comparable across queries). *)
+
+val print_per_query : query_row list -> unit
+
+(** {2 Fetch unit width (SEQ.1 / SEQ.2 / SEQ.3)} *)
+
+type seqn_row = {
+  s_layout : string;
+  s_max_branches : int;
+  s_ipc : float;
+}
+
+val fetch_units : ?cache_kb:int -> Pipeline.t -> seqn_row list
+(** The Rotenberg et al. sequential-engine family: how many branches a
+    fetch block may contain. The paper evaluates SEQ.3; this quantifies
+    what the choice is worth on the database workload. *)
+
+val print_fetch_units : seqn_row list -> unit
+
+(** {2 Associativity interaction} *)
+
+type assoc_row = {
+  a_layout : string;
+  a_assoc : int;
+  a_miss : float;
+  a_ipc : float;
+}
+
+val associativity : ?cache_kb:int -> Pipeline.t -> assoc_row list
+(** The paper only pits the 2-way cache against software layouts on the
+    {e original} code; this measures both dimensions together — how much
+    of the layout benefit survives once the cache is associative. *)
+
+val print_associativity : assoc_row list -> unit
+
+(** {2 Automatic threshold selection} *)
+
+val print_tuning : ?cache_kb:int -> Pipeline.t -> unit
+(** Run {!Tuner.tune} on the Training trace, then evaluate the chosen
+    configuration (and the paper's hand-picked defaults) on the Test
+    trace. *)

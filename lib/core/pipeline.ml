@@ -1,0 +1,81 @@
+module Kernel = Stc_synth.Kernel
+module Database = Stc_db.Database
+module Recorder = Stc_trace.Recorder
+module Profile = Stc_profile.Profile
+
+type config = {
+  kernel : Kernel.config;
+  sf : float;
+  data_seed : int64;
+  walker_seed : int64;
+  frames : int;
+}
+
+let default_config =
+  {
+    kernel = Kernel.default_config;
+    sf = 0.002;
+    data_seed = 0x7C0DL;
+    walker_seed = 0xD15EA5EL;
+    frames = 256;
+  }
+
+let quick_config =
+  {
+    default_config with
+    sf = 0.0005;
+    kernel =
+      {
+        Kernel.default_config with
+        Kernel.n_l2 = 60;
+        n_l3 = 120;
+        n_l4 = 60;
+        n_parser = 80;
+        n_optimizer = 60;
+        n_filler = 400;
+      };
+  }
+
+type t = {
+  config : config;
+  kernel : Kernel.t;
+  program : Stc_cfg.Program.t;
+  db_btree : Database.t;
+  db_hash : Database.t;
+  training : Recorder.t;
+  test : Recorder.t;
+  profile : Profile.t;
+}
+
+let run ?(config = default_config) () =
+  let kernel = Kernel.build ~config:config.kernel () in
+  let data = Stc_dbdata.Datagen.generate ~seed:config.data_seed ~sf:config.sf () in
+  let db_btree = Database.load ~frames:config.frames data ~kind:Database.Btree_db in
+  let db_hash = Database.load ~frames:config.frames data ~kind:Database.Hash_db in
+  let training =
+    Stc_workload.Driver.record ~kernel ~walker_seed:config.walker_seed
+      ~dbs:[ ("btree", db_btree) ]
+      ~queries:Stc_workload.Queries.training_set
+  in
+  let test =
+    Stc_workload.Driver.record ~kernel
+      ~walker_seed:(Int64.add config.walker_seed 1L)
+      ~dbs:[ ("btree", db_btree); ("hash", db_hash) ]
+      ~queries:Stc_workload.Queries.test_set
+  in
+  let profile = Profile.create kernel.Kernel.program in
+  Recorder.replay training (Profile.sink profile);
+  {
+    config;
+    kernel;
+    program = kernel.Kernel.program;
+    db_btree;
+    db_hash;
+    training;
+    test;
+    profile;
+  }
+
+let replay_test t f = Recorder.replay t.test f
+
+let replay_training t f = Recorder.replay t.training f

@@ -1,0 +1,40 @@
+(** The end-to-end experimental setup of the paper, in one value:
+
+    - the synthetic database kernel (program + walkable code);
+    - the TPC-D data at a scale factor, loaded into the B-tree-indexed and
+      the Hash-indexed databases (Section 3);
+    - the {e Training} trace (queries 3, 4, 5, 6, 9 on the B-tree
+      database) and the profile built from it (Section 4);
+    - the {e Test} trace (queries 2, 3, 4, 6, 11, 12, 13, 14, 15, 17 on
+      both databases, run to completion — Section 7). *)
+
+type config = {
+  kernel : Stc_synth.Kernel.config;
+  sf : float;  (** TPC-D scale factor (the paper used 0.1 ≙ 100 MB). *)
+  data_seed : int64;
+  walker_seed : int64;
+  frames : int;  (** Buffer-pool frames per database. *)
+}
+
+val default_config : config
+(** Scale factor 0.002 — a multi-million-instruction test trace. *)
+
+val quick_config : config
+(** A reduced kernel and scale factor 0.0005, for tests and examples. *)
+
+type t = {
+  config : config;
+  kernel : Stc_synth.Kernel.t;
+  program : Stc_cfg.Program.t;
+  db_btree : Stc_db.Database.t;
+  db_hash : Stc_db.Database.t;
+  training : Stc_trace.Recorder.t;
+  test : Stc_trace.Recorder.t;
+  profile : Stc_profile.Profile.t;  (** Built from the Training trace. *)
+}
+
+val run : ?config:config -> unit -> t
+
+val replay_test : t -> (int -> unit) -> unit
+
+val replay_training : t -> (int -> unit) -> unit

@@ -1,0 +1,69 @@
+module L = Stc_layout
+module F = Stc_fetch
+
+type candidate = {
+  t_exec : int;
+  t_branch : float;
+  t_cfa_kb : int;
+  t_seeds : [ `Auto | `Ops ];
+}
+
+type outcome = { chosen : candidate; train_bandwidth : float; evaluated : int }
+
+let default_space =
+  List.concat_map
+    (fun t_seeds ->
+      List.concat_map
+        (fun t_exec ->
+          List.concat_map
+            (fun t_branch ->
+              List.map
+                (fun t_cfa_kb -> { t_exec; t_branch; t_cfa_kb; t_seeds })
+                [ 4; 8; 16 ])
+            [ 0.1; 0.4 ])
+        [ 10; 50; 250 ])
+    [ `Auto; `Ops ]
+
+let layout_of (pl : Pipeline.t) ~cache_kb c =
+  let profile = pl.Pipeline.profile in
+  let params =
+    L.Stc.params ~exec_threshold:c.t_exec ~branch_threshold:c.t_branch
+      ~cache_bytes:(cache_kb * 1024) ~cfa_bytes:(c.t_cfa_kb * 1024) ()
+  in
+  let seeds =
+    match c.t_seeds with
+    | `Auto -> L.Stc.auto_seeds profile
+    | `Ops -> L.Stc.ops_seeds profile
+  in
+  let name =
+    Printf.sprintf "tuned(%s,%d,%.2f,%dK)"
+      (match c.t_seeds with `Auto -> "auto" | `Ops -> "ops")
+      c.t_exec c.t_branch c.t_cfa_kb
+  in
+  L.Stc.layout profile ~name ~params ~seeds
+
+let tune ?(cache_kb = 32) ?(space = default_space) (pl : Pipeline.t) =
+  if space = [] then invalid_arg "Tuner.tune: empty candidate space";
+  let score c =
+    let layout = layout_of pl ~cache_kb c in
+    let view =
+      F.View.create pl.Pipeline.program layout pl.Pipeline.training
+    in
+    let icache =
+      Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
+    in
+    F.Engine.bandwidth (F.Engine.run ~icache F.Engine.default_config view)
+  in
+  let best =
+    List.fold_left
+      (fun acc c ->
+        let bw = score c in
+        match acc with
+        | Some (_, best_bw) when best_bw >= bw -> acc
+        | _ -> Some (c, bw))
+      None space
+  in
+  match best with
+  | Some (chosen, train_bandwidth) ->
+    { chosen; train_bandwidth; evaluated = List.length space }
+  | None -> assert false

@@ -1,0 +1,24 @@
+(** The Query Execution kernel: Volcano-style (open/next) pipelined
+    operators, each an instrumented routine, dispatched through the
+    instrumented [ExecProcNode] indirect call, exactly the pipelined regime
+    the paper attributes PostgreSQL's long call chains to.
+
+    [run] executes a plan to completion and returns the result rows. *)
+
+type node
+
+val init : Database.t -> Plan.t -> node
+(** Instrumented [ExecutorStart]/[ExecInitNode]: build the executor node
+    tree. *)
+
+val next : node -> int array option
+(** Instrumented [ExecProcNode]: pull the next tuple. *)
+
+val run : Database.t -> Plan.t -> int array list
+(** Instrumented [ExecutorRun]: init then pull to completion. *)
+
+val op_names : string list
+(** All executor operator routine names (the [ExecProcNode] dispatch
+    targets). *)
+
+val skeletons : (string * Stc_cfg.Proc.subsystem * Stc_trace.Skeleton.t) list

@@ -1,0 +1,29 @@
+let names =
+  [
+    "palloc";
+    "pfree";
+    "memcpy_chunk";
+    "memcmp_chunk";
+    "strncmp_pg";
+    "hash_any";
+    "LWLockAcquire";
+    "LWLockRelease";
+    "elog_check";
+    "list_cons";
+    "list_nth_cell";
+    "datumCopy";
+    "fmgr_info_lookup";
+    "lookup_tupdesc";
+    "ResourceOwnerRemember";
+    "SnapshotCheck";
+    "LockBufHdr";
+    "StrategyClockTick";
+    "pgstat_count";
+    "errstack_push";
+    "MemoryContextSwitchTo";
+    "oidcmp";
+    "int4cmp_fmgr";
+    "AllocSetCheck";
+  ]
+
+let is_helper n = List.mem n names

@@ -1,0 +1,40 @@
+module Probe = Stc_trace.Probe
+module Skeleton = Stc_trace.Skeleton
+
+let k_deform = Probe.key "heap_deform_tuple"
+
+(* The attribute-walking loop is unrolled by four, as an optimizing
+   compiler does to this small fixed-stride loop: one probe-visible
+   iteration copies up to four attributes. *)
+let deform page ~slot =
+  Probe.routine k_deform @@ fun () ->
+  let w = Page.width page in
+  let out = Array.make w 0 in
+  let i = ref 0 in
+  while Probe.cond "attr_loop" (!i < w) do
+    let stop = min w (!i + 4) in
+    while !i < stop do
+      out.(!i) <- Page.get page ~slot ~col:!i;
+      incr i
+    done
+  done;
+  out
+
+let concat a b =
+  let out = Array.make (Array.length a + Array.length b) 0 in
+  Array.blit a 0 out 0 (Array.length a);
+  Array.blit b 0 out (Array.length a) (Array.length b);
+  out
+
+let skeletons =
+  [
+    ( "heap_deform_tuple",
+      Stc_cfg.Proc.Access_methods,
+      Skeleton.
+        [
+          straight 5;
+          while_ "attr_loop" [ straight 11 ];
+          helper "memcpy_chunk";
+          straight 2;
+        ] );
+  ]

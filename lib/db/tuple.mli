@@ -1,0 +1,11 @@
+(** Tuple materialization: the hot [heap_deform_tuple] path that copies a
+    slotted page row into an executor tuple. *)
+
+val deform : Page.t -> slot:int -> int array
+(** Instrumented: one probe-visible loop iteration per attribute, like the
+    attribute-walking loop of a real [heap_deform_tuple]. *)
+
+val concat : int array -> int array -> int array
+(** Join two tuples (outer @ inner) — plain code, no probes. *)
+
+val skeletons : (string * Stc_cfg.Proc.subsystem * Stc_trace.Skeleton.t) list

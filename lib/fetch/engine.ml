@@ -1,0 +1,153 @@
+module Icache = Stc_cachesim.Icache
+
+type config = { max_branches : int; line_bytes : int; miss_penalty : int }
+
+type prediction = { pred : Predictor.t; redirect_penalty : int }
+
+let default_config = { max_branches = 3; line_bytes = 32; miss_penalty = 5 }
+
+type result = {
+  instrs : int;
+  cycles : int;
+  fetch_cycles : int;
+  seq_cycles : int;
+  tc_cycles : int;
+  icache_accesses : int;
+  icache_misses : int;
+  tc_lookups : int;
+  tc_hits : int;
+  taken_branches : int;
+  instrs_between_taken : float;
+  cond_branches : int;
+  mispredictions : int;
+}
+
+let bandwidth r =
+  if r.cycles = 0 then 0.0 else float_of_int r.instrs /. float_of_int r.cycles
+
+let miss_rate_pct r =
+  if r.instrs = 0 then 0.0
+  else 100.0 *. float_of_int r.icache_misses /. float_of_int r.instrs
+
+let run ?icache ?trace_cache ?prediction config view =
+  let len = View.length view in
+  let line = config.line_bytes in
+  let instr_bytes = Stc_cfg.Block.instr_bytes in
+  let cycles = ref 0 and penalties = ref 0 and instrs = ref 0 in
+  let seq_cycles = ref 0 and tc_cycles = ref 0 in
+  let cond_branches = ref 0 in
+  let idx = ref 0 and off = ref 0 in
+  (* Direction prediction applies to every executed conditional branch,
+     whether the window came from the sequential engine or the trace
+     cache; we account for it per block as the stream advances. *)
+  let check_prediction i =
+    if View.is_cond view i then begin
+      incr cond_branches;
+      match prediction with
+      | None -> ()
+      | Some { pred; redirect_penalty } ->
+        let pc =
+          View.block_addr view i + ((View.block_size view i - 1) * 4)
+        in
+        if not (Predictor.predict_and_update pred ~pc ~taken:(View.taken view i))
+        then penalties := !penalties + redirect_penalty
+    end
+  in
+  let access_line a =
+    match icache with
+    | None -> true
+    | Some c -> Icache.access c a
+  in
+  while !idx < len do
+    let pos = { View.idx = !idx; off = !off } in
+    let tc_hit =
+      match trace_cache with
+      | None -> None
+      | Some tc -> Tracecache.lookup tc view pos
+    in
+    match tc_hit with
+    | Some info when info.Tracecache.n_instrs > 0 ->
+      incr cycles;
+      incr tc_cycles;
+      instrs := !instrs + info.Tracecache.n_instrs;
+      let stop = info.Tracecache.end_pos.View.idx in
+      (* every block whose final instruction lies inside the trace has its
+         branch resolved here *)
+      for i = !idx to stop - 1 do
+        check_prediction i
+      done;
+      idx := stop;
+      off := info.Tracecache.end_pos.View.off
+    | Some _ | None ->
+      (* sequential cycle *)
+      incr cycles;
+      incr seq_cycles;
+      let a = View.addr view pos in
+      let line_no = a / line in
+      let hit1 = access_line (line_no * line) in
+      let hit2 = access_line ((line_no + 1) * line) in
+      if not (hit1 && hit2) then penalties := !penalties + config.miss_penalty;
+      let window_end = (line_no + 2) * line in
+      let branches = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let size = View.block_size view !idx in
+        let cur_addr = View.addr view { View.idx = !idx; off = !off } in
+        let space = (window_end - cur_addr) / instr_bytes in
+        let remaining = size - !off in
+        let take = min remaining space in
+        instrs := !instrs + take;
+        if take < remaining then begin
+          off := !off + take;
+          stop := true
+        end
+        else begin
+          let was_branch = View.has_branch view !idx in
+          let taken = View.taken view !idx in
+          if was_branch then incr branches;
+          check_prediction !idx;
+          incr idx;
+          off := 0;
+          if
+            taken
+            || (was_branch && !branches >= config.max_branches)
+            || !idx >= len
+          then stop := true
+          else if
+            View.addr view { View.idx = !idx; off = 0 } >= window_end
+          then stop := true
+        end
+      done;
+      (* the fill unit builds a new trace at the missed fetch address *)
+      (match trace_cache with
+      | Some tc -> Tracecache.fill tc view pos
+      | None -> ())
+  done;
+  let icache_accesses, icache_misses =
+    match icache with
+    | None -> (0, 0)
+    | Some c -> (Icache.accesses c, Icache.misses c)
+  in
+  let tc_lookups, tc_hits =
+    match trace_cache with
+    | None -> (0, 0)
+    | Some tc -> (Tracecache.lookups tc, Tracecache.hits tc)
+  in
+  {
+    instrs = !instrs;
+    cycles = !cycles + !penalties;
+    fetch_cycles = !cycles;
+    seq_cycles = !seq_cycles;
+    tc_cycles = !tc_cycles;
+    icache_accesses;
+    icache_misses;
+    tc_lookups;
+    tc_hits;
+    taken_branches = View.taken_branches view;
+    instrs_between_taken = View.instrs_between_taken view;
+    cond_branches = !cond_branches;
+    mispredictions =
+      (match prediction with
+      | Some { pred; _ } -> Predictor.mispredictions pred
+      | None -> 0);
+  }

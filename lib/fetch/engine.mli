@@ -1,0 +1,63 @@
+(** The SEQ.3 sequential fetch engine of Rotenberg et al., as configured in
+    Section 7.1 of the paper, optionally fronted by a {!Tracecache}:
+
+    - each cycle it accesses two consecutive i-cache lines and supplies
+      instructions from the fetch address up to the first taken branch, a
+      maximum of [max_branches] branches, or the end of the two-line
+      window (16 instructions when aligned), whichever comes first;
+    - branch prediction is perfect, so the next fetch address is always
+      the address of the next dynamic instruction;
+    - an i-cache miss on either line adds a fixed [miss_penalty]; a trace
+      cache hit supplies its whole trace in one cycle with no i-cache
+      access. *)
+
+type config = {
+  max_branches : int;
+  line_bytes : int;
+  miss_penalty : int;
+}
+
+type prediction = {
+  pred : Predictor.t;
+  redirect_penalty : int;
+      (** Cycles lost per mispredicted conditional-branch direction. *)
+}
+
+val default_config : config
+(** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty. *)
+
+type result = {
+  instrs : int;  (** Instructions supplied. *)
+  cycles : int;  (** Fetch cycles including miss penalties. *)
+  fetch_cycles : int;  (** Cycles excluding penalties. *)
+  seq_cycles : int;  (** Fetch cycles served by the sequential engine. *)
+  tc_cycles : int;  (** Fetch cycles served by the trace cache. *)
+  icache_accesses : int;
+  icache_misses : int;
+  tc_lookups : int;
+  tc_hits : int;
+  taken_branches : int;
+  instrs_between_taken : float;
+  cond_branches : int;
+  mispredictions : int;
+}
+
+val bandwidth : result -> float
+(** Instructions per cycle. *)
+
+val miss_rate_pct : result -> float
+(** I-cache misses per 100 instructions executed (the unit of Table 3). *)
+
+val run :
+  ?icache:Stc_cachesim.Icache.t ->
+  ?trace_cache:Tracecache.t ->
+  ?prediction:prediction ->
+  config ->
+  View.t ->
+  result
+(** Simulate the whole stream. [?icache = None] models the Ideal (perfect)
+    instruction cache: no misses, no penalties. Without [?prediction],
+    branch prediction is perfect, as in the paper; with it, every
+    mispredicted conditional-branch direction costs
+    [redirect_penalty] cycles. The caches' state and statistics are
+    updated in place (pass fresh ones per experiment). *)

@@ -1,0 +1,63 @@
+type kind = Always_taken | Bimodal of int | Gshare of int * int
+
+type t = {
+  kind : kind;
+  table : int array; (* 2-bit saturating counters *)
+  mask : int;
+  history_mask : int;
+  mutable history : int;
+  mutable predictions : int;
+  mutable mispredictions : int;
+}
+
+let create kind =
+  let size, hist_bits =
+    match kind with
+    | Always_taken -> (1, 0)
+    | Bimodal n -> (n, 0)
+    | Gshare (n, h) -> (n, h)
+  in
+  if not (Stc_util.Bits.is_pow2 size) then
+    invalid_arg "Predictor.create: table size must be a power of two";
+  {
+    kind;
+    table = Array.make size 2 (* weakly taken *);
+    mask = size - 1;
+    history_mask = (1 lsl hist_bits) - 1;
+    history = 0;
+    predictions = 0;
+    mispredictions = 0;
+  }
+
+let index t ~pc =
+  match t.kind with
+  | Always_taken -> 0
+  | Bimodal _ -> (pc lsr 2) land t.mask
+  | Gshare _ -> ((pc lsr 2) lxor t.history) land t.mask
+
+let predict_and_update t ~pc ~taken =
+  t.predictions <- t.predictions + 1;
+  let correct =
+    match t.kind with
+    | Always_taken -> taken
+    | Bimodal _ | Gshare _ ->
+      let i = index t ~pc in
+      let predicted = t.table.(i) >= 2 in
+      (if taken then t.table.(i) <- min 3 (t.table.(i) + 1)
+       else t.table.(i) <- max 0 (t.table.(i) - 1));
+      t.history <- ((t.history lsl 1) lor Bool.to_int taken) land t.history_mask;
+      predicted = taken
+  in
+  if not correct then t.mispredictions <- t.mispredictions + 1;
+  correct
+
+let predictions t = t.predictions
+
+let mispredictions t = t.mispredictions
+
+let accuracy_pct t =
+  if t.predictions = 0 then 100.0
+  else
+    100.0
+    *. float_of_int (t.predictions - t.mispredictions)
+    /. float_of_int t.predictions

@@ -1,0 +1,38 @@
+(** Trace cache (Rotenberg, Bennett & Smith, MICRO 1996), basic scheme:
+    a direct-mapped buffer of dynamic instruction sequences of up to
+    [width] instructions and [max_branches] branches, indexed by fetch
+    address and matched against the (perfectly) predicted branch outcomes.
+    On a hit the whole trace is supplied in one cycle; on a miss the
+    sequential engine fetches and the fill unit stores the trace that
+    starts at the missed address. *)
+
+type t
+
+val create : ?entries:int -> ?width:int -> ?max_branches:int -> unit -> t
+(** Defaults: 256 entries, 16-instruction traces, 3 branches — the paper's
+    16 KB trace cache. *)
+
+type trace_info = {
+  n_instrs : int;
+  n_branches : int;
+  outcomes : int;  (** Bitmask of taken/not-taken, bit [i] = [i]th branch. *)
+  end_pos : View.pos;  (** Stream position right after the trace. *)
+}
+
+val build_trace : View.t -> View.pos -> trace_info
+(** The trace the fill unit would construct from this stream position:
+    greedily take instructions until the width limit, the branch limit, or
+    the end of the stream. Deterministic in the position and the stream. *)
+
+val lookup : t -> View.t -> View.pos -> trace_info option
+(** Probe with the fetch address at [pos] and the actual (perfectly
+    predicted) upcoming outcomes; [Some info] on a hit. *)
+
+val fill : t -> View.t -> View.pos -> unit
+(** Insert the trace starting at [pos] (called on the miss path). *)
+
+val lookups : t -> int
+
+val hits : t -> int
+
+val reset_stats : t -> unit

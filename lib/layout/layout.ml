@@ -1,0 +1,97 @@
+module Program = Stc_cfg.Program
+module Block = Stc_cfg.Block
+
+type t = { name : string; addr : int array }
+
+let of_block_order prog ~name order =
+  let n = Array.length prog.Program.blocks in
+  if Array.length order <> n then
+    invalid_arg "Layout.of_block_order: not a permutation (wrong length)";
+  let seen = Array.make n false in
+  Array.iter
+    (fun bid ->
+      if bid < 0 || bid >= n || seen.(bid) then
+        invalid_arg "Layout.of_block_order: not a permutation";
+      seen.(bid) <- true)
+    order;
+  let addr = Array.make n 0 in
+  let cursor = ref 0 in
+  Array.iter
+    (fun bid ->
+      addr.(bid) <- !cursor;
+      cursor := !cursor + Block.byte_size prog.Program.blocks.(bid))
+    order;
+  { name; addr }
+
+let of_placements prog ~name placements =
+  let n = Array.length prog.Program.blocks in
+  let addr = Array.make n (-1) in
+  List.iter
+    (fun (bid, a) ->
+      if bid < 0 || bid >= n then invalid_arg "Layout.of_placements: bad block";
+      if a < 0 || a mod Block.instr_bytes <> 0 then
+        invalid_arg "Layout.of_placements: bad address";
+      if addr.(bid) >= 0 then
+        invalid_arg "Layout.of_placements: block placed twice";
+      addr.(bid) <- a)
+    placements;
+  Array.iteri
+    (fun bid a ->
+      if a < 0 then
+        invalid_arg
+          (Printf.sprintf "Layout.of_placements: block %d not placed" bid))
+    addr;
+  (* overlap check via sorted intervals *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare addr.(a) addr.(b)) order;
+  Array.iteri
+    (fun i bid ->
+      if i + 1 < n then begin
+        let next = order.(i + 1) in
+        if addr.(bid) + Block.byte_size prog.Program.blocks.(bid) > addr.(next)
+        then
+          invalid_arg
+            (Printf.sprintf "Layout.of_placements: blocks %d and %d overlap"
+               bid next)
+      end)
+    order;
+  { name; addr }
+
+let address t bid = t.addr.(bid)
+
+let end_address t prog =
+  let last = ref 0 in
+  Array.iteri
+    (fun bid a ->
+      let e = a + Block.byte_size prog.Program.blocks.(bid) in
+      if e > !last then last := e)
+    t.addr;
+  !last
+
+let is_sequential t prog ~src ~dst =
+  t.addr.(dst) = t.addr.(src) + Block.byte_size prog.Program.blocks.(src)
+
+let validate t prog =
+  let n = Array.length prog.Program.blocks in
+  if Array.length t.addr <> n then Error "layout covers wrong block count"
+  else begin
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare t.addr.(a) t.addr.(b)) order;
+    let rec go i =
+      if i >= n then Ok ()
+      else
+        let bid = order.(i) in
+        if t.addr.(bid) < 0 then Error (Printf.sprintf "block %d unplaced" bid)
+        else if t.addr.(bid) mod Block.instr_bytes <> 0 then
+          Error (Printf.sprintf "block %d misaligned" bid)
+        else if
+          i + 1 < n
+          && t.addr.(bid) + Block.byte_size prog.Program.blocks.(bid)
+             > t.addr.(order.(i + 1))
+        then
+          Error
+            (Printf.sprintf "blocks %d and %d overlap" bid (order.(i + 1)))
+        else go (i + 1)
+    in
+    go 0
+  end

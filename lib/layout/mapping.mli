@@ -1,0 +1,35 @@
+(** Sequence mapping into the address space with a Conflict-Free Area —
+    Section 5.3 / Figure 4 of the paper.
+
+    The address space is viewed as a logical array of caches, each
+    [cache_bytes] long. The most popular sequences ([cfa_seqs]) occupy the
+    start of the first logical cache; the region they use — the first
+    [cfa_bytes] of {e every} logical cache — is then kept free of all other
+    sequences, so nothing can evict them. The remaining sequences fill the
+    rest, skipping the CFA window of each logical cache, and finally the
+    cold blocks fill everything left, including the skipped windows (the
+    rarely executed code is the only thing allowed to conflict with the
+    CFA). *)
+
+val map :
+  Stc_cfg.Program.t ->
+  name:string ->
+  cache_bytes:int ->
+  cfa_bytes:int ->
+  cfa_seqs:int list list ->
+  other_seqs:int list list ->
+  cold:int list ->
+  Layout.t
+(** The three inputs must partition all blocks. Raises [Invalid_argument]
+    if the CFA sequences exceed [cfa_bytes], or on a malformed partition
+    (via layout validation). *)
+
+val fit_cfa :
+  Stc_cfg.Program.t ->
+  cfa_bytes:int ->
+  int list list ->
+  int list list * int list list
+(** [fit_cfa prog ~cfa_bytes seqs] splits the ordered sequences into the
+    longest prefix of whole sequences fitting in [cfa_bytes] and the
+    rest. A sequence that does not fit is skipped (later, shorter ones may
+    still fit), preserving order. *)

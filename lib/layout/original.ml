@@ -1,0 +1,9 @@
+module Program = Stc_cfg.Program
+module Proc = Stc_cfg.Proc
+
+let layout prog =
+  let order =
+    Array.concat
+      (Array.to_list (Array.map (fun p -> p.Proc.blocks) prog.Program.procs))
+  in
+  Layout.of_block_order prog ~name:"orig" order

@@ -1,0 +1,4 @@
+(** The original ("orig") layout: procedures in program order, blocks in
+    textual order — the addresses the compiler produced. *)
+
+val layout : Stc_cfg.Program.t -> Layout.t

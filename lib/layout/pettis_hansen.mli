@@ -1,0 +1,20 @@
+(** Pettis & Hansen (PLDI 1990) profile-guided code positioning:
+
+    - basic-block chaining inside each procedure (heaviest edges first,
+      merging a chain tail to a chain head), with never-executed blocks
+      ("fluff") split away into a global cold section;
+    - procedure ordering over the weighted call graph with the
+      "closest-is-best" heuristic, orienting merged chains so the two
+      procedures of the heaviest edge end up as close as possible.
+
+    As the paper notes, the algorithm does not use the target cache
+    geometry. *)
+
+val layout : Stc_profile.Profile.t -> Layout.t
+
+val proc_order : Stc_profile.Profile.t -> int array
+(** The procedure order chosen by the call-graph heuristic (exposed for
+    tests). *)
+
+val block_order_within : Stc_profile.Profile.t -> pid:int -> int list * int list
+(** [(hot, fluff)] intra-procedure block order for one procedure. *)

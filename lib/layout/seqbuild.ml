@@ -1,0 +1,82 @@
+module Profile = Stc_profile.Profile
+
+type params = { exec_threshold : int; branch_threshold : float }
+
+let default_params = { exec_threshold = 1; branch_threshold = 0.1 }
+
+let build ?visited profile ~params ~seeds =
+  let prog = Profile.program profile in
+  let n = Array.length prog.Stc_cfg.Program.blocks in
+  let visited =
+    match visited with
+    | Some v -> v
+    | None -> Array.make n false
+  in
+  let counts = Profile.counts profile in
+  let sequences = ref [] in
+  let queued = Array.make n false in
+  let acceptable bid =
+    (not visited.(bid)) && counts.(bid) >= params.exec_threshold
+  in
+  let hot bid = counts.(bid) >= params.exec_threshold in
+  let build_from start =
+    (* Noted transitions for this seed, FIFO: secondary traces explore the
+       paths rejected while building earlier traces of the same seed. A
+       candidate that is already placed (e.g. by an earlier CFA pass)
+       instead propagates exploration to its own successors, so code
+       adjacent to already-placed hot paths still enters a sequence. *)
+    let pending = Queue.create () in
+    let enqueue bid =
+      if (not queued.(bid)) && hot bid then begin
+        queued.(bid) <- true;
+        Queue.add bid pending
+      end
+    in
+    enqueue start;
+    while not (Queue.is_empty pending) do
+      let s = Queue.take pending in
+      if visited.(s) then
+        List.iter (fun (dst, _) -> enqueue dst) (Profile.successors profile s)
+      else if acceptable s then begin
+        let trace = ref [] in
+        let cur = ref (Some s) in
+        while !cur <> None do
+          let b = Option.get !cur in
+          visited.(b) <- true;
+          trace := b :: !trace;
+          let succs = Profile.successors profile b in
+          let total =
+            List.fold_left (fun acc (_, c) -> acc + c) 0 succs
+          in
+          (* Following a transition requires both thresholds; noting one
+             for a secondary trace requires only the Exec Threshold (in
+             Figure 3, B1 is cut from the main trace by the Branch
+             Threshold yet still heads a later sequence). *)
+          let noteworthy = List.filter (fun (dst, _) -> hot dst) succs in
+          let followable =
+            List.filter
+              (fun (dst, c) ->
+                acceptable dst
+                && float_of_int c
+                   >= params.branch_threshold *. float_of_int total)
+              noteworthy
+          in
+          match followable with
+          | [] ->
+            List.iter (fun (dst, _) -> enqueue dst) noteworthy;
+            cur := None
+          | (best, _) :: _ ->
+            List.iter
+              (fun (dst, _) -> if dst <> best then enqueue dst)
+              noteworthy;
+            cur := Some best
+        done;
+        sequences := List.rev !trace :: !sequences
+      end
+    done
+  in
+  List.iter (fun seed -> if acceptable seed then build_from seed) seeds;
+  List.rev !sequences
+
+let covered seqs mark =
+  List.iter (fun seq -> List.iter (fun b -> mark.(b) <- true) seq) seqs

@@ -1,0 +1,42 @@
+(** Greedy basic-block sequence (trace) building — Section 5.2 and
+    Figure 3 of the paper.
+
+    Starting from each seed, the builder follows the most frequently
+    executed transition out of the current block — including following
+    calls into subroutines and dominant return transitions — while every
+    candidate passes two thresholds:
+
+    - {e Exec Threshold}: the successor's execution count must reach it;
+    - {e Branch Threshold}: the transition's probability (edge count over
+      the block's total outgoing count) must reach it.
+
+    All other valid transitions are noted, and once the current trace
+    cannot be extended, secondary traces are started from the noted
+    transitions of the same seed; then the algorithm proceeds to the next
+    seed. A block is placed in at most one sequence. *)
+
+type params = {
+  exec_threshold : int;
+  branch_threshold : float;
+}
+
+val default_params : params
+(** [exec_threshold = 1], [branch_threshold = 0.1] — permissive defaults
+    that let the seed priority dominate. *)
+
+val build :
+  ?visited:bool array ->
+  Stc_profile.Profile.t ->
+  params:params ->
+  seeds:int list ->
+  int list list
+(** Sequences of block ids, in construction order (first seed's main trace
+    first). Every block appears in at most one sequence; blocks whose
+    execution count is below the exec threshold never appear. Seeds that
+    were already absorbed by earlier sequences start none. [?visited]
+    carries exclusions in and coverage out, so several passes with
+    successively relaxed thresholds can be chained (Section 5.3 maps the
+    sequences "one pass at a time"). *)
+
+val covered : int list list -> bool array -> unit
+(** Mark (in the given array) every block contained in the sequences. *)

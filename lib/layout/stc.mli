@@ -1,0 +1,43 @@
+(** The paper's contribution: the Software Trace Cache layout.
+
+    Builds greedy sequences from seeds (Section 5.2), packs the most
+    popular whole sequences into the Conflict-Free Area, maps everything
+    else around it (Section 5.3). *)
+
+type params = {
+  seq : Seqbuild.params;
+  cache_bytes : int;
+  cfa_bytes : int;
+}
+
+val params :
+  ?exec_threshold:int ->
+  ?branch_threshold:float ->
+  cache_bytes:int ->
+  cfa_bytes:int ->
+  unit ->
+  params
+(** Thresholds default to {!Seqbuild.default_params}. *)
+
+val auto_seeds : Stc_profile.Profile.t -> int list
+(** The "auto" seed selection: entry points of {e all} procedures, in
+    decreasing order of invocation count (unexecuted procedures excluded). *)
+
+val ops_seeds : ?names:string list -> Stc_profile.Profile.t -> int list
+(** The "ops" seed selection: entry points of the Executor operations only
+    (knowledge-based). With [names], exactly the named procedures (in
+    decreasing popularity); otherwise every procedure whose subsystem is
+    [Executor]. *)
+
+val sequences :
+  Stc_profile.Profile.t -> params:params -> seeds:int list -> int list list
+(** The raw greedy sequences (exposed for tests and ablations). *)
+
+val layout :
+  Stc_profile.Profile.t ->
+  name:string ->
+  params:params ->
+  seeds:int list ->
+  Layout.t
+(** Full pipeline: sequences → CFA fit → mapping; blocks not in any
+    sequence are laid out in original textual order after the sequences. *)

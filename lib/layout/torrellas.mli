@@ -1,0 +1,15 @@
+(** The layout of Torrellas, Xia & Daigle (HPCA 1995), as characterized in
+    the paper: code is reordered as sequences of basic blocks spanning
+    functions, but the Conflict-Free Area is filled with the most popular
+    {e individual basic blocks} — pulled out of their sequences — rather
+    than with whole sequences. With a small CFA this behaves much like the
+    STC; with a large CFA the pulled-out blocks break sequentiality
+    (execution keeps jumping in and out of the CFA), which is exactly the
+    contrast Table 4 of the paper exhibits. *)
+
+val layout :
+  Stc_profile.Profile.t ->
+  seq_params:Seqbuild.params ->
+  cache_bytes:int ->
+  cfa_bytes:int ->
+  Layout.t

@@ -1,0 +1,18 @@
+(** Concentration of dynamic references in few static blocks — Figure 2. *)
+
+type t
+
+val compute : Profile.t -> t
+
+val share_of_top : t -> int -> float
+(** [share_of_top t n]: fraction of all dynamic block references captured
+    by the [n] most popular static blocks. *)
+
+val blocks_for_share : t -> float -> int
+(** Least number of most-popular blocks capturing the given share. *)
+
+val curve : t -> max_blocks:int -> step:int -> (int * float) list
+(** Sampled (n, cumulative share) points for plotting Figure 2. *)
+
+val executed_blocks : t -> int
+(** Number of static blocks with a non-zero count. *)

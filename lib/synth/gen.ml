@@ -1,0 +1,100 @@
+module Rng = Stc_util.Rng
+module Skeleton = Stc_trace.Skeleton
+
+type callee = { name : string; placement : [ `Common | `Rare ] }
+
+(* Branch probabilities: mostly fixed (near 0 or 1), occasionally mixed —
+   mirrors Table 2, where ~59 % of dynamic branch executions come from
+   blocks that behave in a fixed way. *)
+let branch_p rng =
+  let r = Rng.float rng 1.0 in
+  if r < 0.47 then 0.008 +. Rng.float rng 0.03 (* almost never taken *)
+  else if r < 0.79 then 0.958 +. Rng.float rng 0.04 (* almost always *)
+  else 0.2 +. Rng.float rng 0.6 (* data-dependent *)
+
+let site =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    Printf.sprintf "g%d" !counter
+
+(* Small blocks: the paper's kernel averages ~4.7 instructions per basic
+   block. *)
+let straight rng = Skeleton.straight (1 + Rng.int rng 4)
+
+let body rng ~instr_budget ~callees ~loop_p =
+  let lo_p, hi_p = loop_p in
+  let budget = ref instr_budget in
+  let spend n = budget := !budget - n in
+  let rec stmts depth pending_callees =
+    if !budget <= 0 && pending_callees = [] then []
+    else begin
+      let choice = Rng.float rng 1.0 in
+      match pending_callees with
+      | c :: rest when choice < 0.4 ->
+        (* place the next callee *)
+        spend 3;
+        let call_stmt = Skeleton.helper c.name in
+        let stmt =
+          match c.placement with
+          | `Common ->
+            if Rng.bernoulli rng 0.5 then
+              Skeleton.if_
+                ~p:(0.5 +. Rng.float rng 0.45)
+                (site ())
+                [ call_stmt; straight rng ]
+            else call_stmt
+          | `Rare ->
+            Skeleton.if_
+              ~p:(0.01 +. Rng.float rng 0.06)
+              (site ())
+              [ call_stmt; straight rng ]
+        in
+        stmt :: stmts depth rest
+      | _ when !budget <= 0 ->
+        (* only pending callees remain *)
+        (match pending_callees with
+        | [] -> []
+        | c :: rest -> Skeleton.helper c.name :: stmts depth rest)
+      | _ when choice < 0.5 ->
+        let s = straight rng in
+        spend 3;
+        s :: stmts depth pending_callees
+      | _ when choice < 0.72 && depth > 0 ->
+        spend 2;
+        let p = branch_p rng in
+        (* never-taken branches guard small error exits; likely branches
+           carry real code, so the executed fraction of a touched
+           procedure stays high (Table 1) *)
+        let inner =
+          if p < 0.06 then
+            (* error exits: small, and often an early return — DB code is
+               full of them (the paper's executed code is ~25 % return
+               blocks) *)
+            if Rng.bernoulli rng 0.5 then [ straight rng; Skeleton.return ]
+            else [ straight rng ]
+          else
+            match stmts (depth - 1) [] with
+            | [] -> [ straight rng ]
+            | l -> l
+        in
+        let stmt =
+          if Rng.bernoulli rng 0.3 then
+            Skeleton.if_else ~p (site ()) inner [ straight rng ]
+          else Skeleton.if_ ~p (site ()) inner
+        in
+        stmt :: stmts depth pending_callees
+      | _ when choice < 0.82 && depth > 0 ->
+        spend 3;
+        let inner = stmts (depth - 1) [] in
+        let inner = if inner = [] then [ straight rng ] else inner in
+        let p = lo_p +. Rng.float rng (hi_p -. lo_p) in
+        Skeleton.while_ ~p (site ()) inner :: stmts depth pending_callees
+      | _ ->
+        let s = straight rng in
+        spend 3;
+        s :: stmts depth pending_callees
+    end
+  in
+  let b = stmts 3 callees in
+  if b = [] then [ straight rng ] else b

@@ -1,0 +1,27 @@
+(** Generation of synthetic procedure bodies (skeletons) for the parts of
+    the database kernel we do not hand-write: utility helpers, parser and
+    optimizer code, and the cold mass of rarely-or-never executed
+    procedures.
+
+    Generated bodies are auto-walked (every decision site carries a
+    probability), use [Helper] calls exclusively, and call only procedures
+    passed in [callees] — the caller guarantees acyclicity by layering. *)
+
+type callee = {
+  name : string;
+  placement : [ `Common | `Rare ];
+      (** [`Common] call sites sit on the main path (possibly inside a
+          moderately likely branch); [`Rare] ones hide behind a
+          low-probability branch (error paths, cold subroutines). *)
+}
+
+val body :
+  Stc_util.Rng.t ->
+  instr_budget:int ->
+  callees:callee list ->
+  loop_p:float * float ->
+  Stc_trace.Skeleton.t
+(** Generate a body of roughly [instr_budget] static instructions. Branch
+    sites get mostly-deterministic probabilities (the paper's ~80 %
+    fixed-transition behaviour); loop sites get a continue-probability
+    drawn from the given range. *)

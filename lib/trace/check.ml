@@ -1,0 +1,73 @@
+module Program = Stc_cfg.Program
+module Block = Stc_cfg.Block
+module Terminator = Stc_cfg.Terminator
+
+type t = {
+  program : Program.t;
+  mutable prev : int option;
+  mutable stack : int list; (* pending return continuations (block ids) *)
+  mutable error : string option;
+}
+
+let create program = { program; prev = None; stack = []; error = None }
+
+let entry_of t pid = t.program.Program.procs.(pid).Stc_cfg.Proc.entry
+
+let legal t a b =
+  let blk = t.program.Program.blocks.(a) in
+  match blk.Block.term with
+  | Terminator.Fall x | Terminator.Jump x ->
+    if b = x then Ok () else Error (Printf.sprintf "block %d must go to %d, went to %d" a x b)
+  | Terminator.Cond { taken; fallthru } ->
+    if b = taken || b = fallthru then Ok ()
+    else Error (Printf.sprintf "block %d cond to %d/%d, went to %d" a taken fallthru b)
+  | Terminator.Call { callee; next } ->
+    if b = entry_of t callee then begin
+      t.stack <- next :: t.stack;
+      Ok ()
+    end
+    else Error (Printf.sprintf "block %d calls proc %d (entry %d), went to %d" a callee (entry_of t callee) b)
+  | Terminator.Icall { callees; next } ->
+    if Array.exists (fun c -> b = entry_of t c) callees then begin
+      t.stack <- next :: t.stack;
+      Ok ()
+    end
+    else Error (Printf.sprintf "block %d icall, went to %d which is no target entry" a b)
+  | Terminator.Ret -> (
+    match t.stack with
+    | [] ->
+      (* Returning out of a trace root: the next block starts a new root
+         and must be a procedure entry. *)
+      let p = Program.proc_of_block t.program b in
+      if p.Stc_cfg.Proc.entry = b then Ok ()
+      else Error (Printf.sprintf "root return: block %d is not a procedure entry" b)
+    | next :: rest ->
+      t.stack <- rest;
+      if b = next then Ok ()
+      else Error (Printf.sprintf "block %d returns to %d, went to %d" a next b))
+
+let step t b =
+  match t.error with
+  | Some e -> Error e
+  | None ->
+    let r =
+      if b < 0 || b >= Array.length t.program.Program.blocks then
+        Error (Printf.sprintf "block id %d out of range" b)
+      else
+        match t.prev with
+        | None ->
+          (* Trace root: must be a procedure entry. *)
+          let p = Program.proc_of_block t.program b in
+          if p.Stc_cfg.Proc.entry = b then Ok ()
+          else Error (Printf.sprintf "trace starts at non-entry block %d" b)
+        | Some a -> legal t a b
+    in
+    (match r with Ok () -> t.prev <- Some b | Error e -> t.error <- Some e);
+    r
+
+let finish t = match t.error with Some e -> Error e | None -> Ok ()
+
+let check_all program iter =
+  let t = create program in
+  iter (fun b -> ignore (step t b));
+  finish t

@@ -1,0 +1,31 @@
+module Vec = Stc_util.Vec
+
+type t = { trace : Vec.t; mutable marks_rev : (string * int) list }
+
+let create () = { trace = Vec.create ~capacity:1024 (); marks_rev = [] }
+
+let sink t bid = Vec.push t.trace bid
+
+let mark t name = t.marks_rev <- (name, Vec.length t.trace) :: t.marks_rev
+
+let length t = Vec.length t.trace
+
+let replay t f = Vec.iter f t.trace
+
+let replay_range t ~lo ~hi f =
+  for i = lo to min hi (Vec.length t.trace) - 1 do
+    f (Vec.unsafe_get t.trace i)
+  done
+
+let marks t = List.rev t.marks_rev
+
+let get t i = Vec.get t.trace i
+
+let hash t =
+  let h = ref 0xCBF29CE484222325L in
+  Vec.iter
+    (fun bid ->
+      h := Int64.logxor !h (Int64.of_int bid);
+      h := Int64.mul !h 0x100000001B3L)
+    t.trace;
+  !h

@@ -1,0 +1,33 @@
+(** Recording and replaying basic-block traces.
+
+    The Test-set trace is captured once and replayed through every
+    (layout × cache × fetch) configuration, exactly like the paper's
+    trace-driven methodology. *)
+
+type t
+
+val create : unit -> t
+
+val sink : t -> int -> unit
+(** The function to install as the walker's sink. *)
+
+val mark : t -> string -> unit
+(** Record a named position (e.g. a query boundary) at the current length. *)
+
+val length : t -> int
+(** Number of recorded block ids. *)
+
+val replay : t -> (int -> unit) -> unit
+(** Feed every recorded block id, in order, to the consumer. *)
+
+val replay_range : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** Replay entries with indices in [\[lo, hi)]. *)
+
+val marks : t -> (string * int) list
+(** Marks in recording order with their positions. *)
+
+val get : t -> int -> int
+
+val hash : t -> int64
+(** FNV-1a over the recorded ids — a cheap fingerprint for determinism
+    tests. *)

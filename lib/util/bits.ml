@@ -1,0 +1,17 @@
+let clz n =
+  assert (n > 0);
+  let rec go k mask =
+    if n land mask <> 0 then k else go (k + 1) (mask lsr 1)
+  in
+  go 0 (1 lsl (Sys.int_size - 1))
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2_ceil n =
+  assert (n > 0);
+  let rec go k = if 1 lsl k >= n then k else go (k + 1) in
+  go 0
+
+let log2_exact n =
+  if not (is_pow2 n) then invalid_arg "Bits.log2_exact: not a power of two";
+  log2_ceil n

@@ -1,0 +1,14 @@
+(** Bit-twiddling helpers for the cache simulators. *)
+
+val clz : int -> int
+(** Count of leading zero bits of a positive [int] (of [Sys.int_size] bits).
+    Undefined for non-positive arguments. *)
+
+val log2_ceil : int -> int
+(** Least [k] with [1 lsl k >= n]; [n] must be positive. *)
+
+val log2_exact : int -> int
+(** [log2_exact n] for [n] a positive power of two; raises
+    [Invalid_argument] otherwise. *)
+
+val is_pow2 : int -> bool

@@ -1,0 +1,104 @@
+type t = { mutable state : int64; seed : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = seed; seed }
+
+let copy t = { state = t.state; seed = t.seed }
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  create (mix64 s)
+
+let seed_of_string s =
+  (* FNV-1a, 64-bit *)
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    s;
+  !h
+
+let named t name = create (mix64 (Int64.logxor t.seed (seed_of_string name)))
+
+let int t bound =
+  assert (bound > 0);
+  (* keep 62 bits so the value fits a non-negative OCaml int *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (hi >= lo);
+  lo + int t (hi - lo + 1)
+
+(* 53 uniformly distributed mantissa bits. *)
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let geometric t p =
+  assert (p > 0.0 && p <= 1.0);
+  if p >= 1.0 then 0
+  else
+    let u = float t 1.0 in
+    let u = if u <= 0.0 then epsilon_float else u in
+    int_of_float (Float.of_int 0 +. floor (log u /. log (1.0 -. p)))
+
+(* Zipf via cached cumulative tables keyed by (n, s). *)
+let zipf_tables : (int * float, float array) Hashtbl.t = Hashtbl.create 7
+
+let zipf_table n s =
+  match Hashtbl.find_opt zipf_tables (n, s) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Array.make n 0.0 in
+    let acc = ref 0.0 in
+    for i = 0 to n - 1 do
+      acc := !acc +. (1.0 /. Float.pow (float_of_int (i + 1)) s);
+      tbl.(i) <- !acc
+    done;
+    let total = !acc in
+    for i = 0 to n - 1 do
+      tbl.(i) <- tbl.(i) /. total
+    done;
+    Hashtbl.replace zipf_tables (n, s) tbl;
+    tbl
+
+let zipf t ~n ~s =
+  assert (n > 0);
+  let tbl = zipf_table n s in
+  let u = float t 1.0 in
+  (* first index whose cumulative mass is >= u *)
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if tbl.(mid) >= u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (n - 1)
+
+let pick t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

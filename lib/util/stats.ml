@@ -1,0 +1,54 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+      /. float_of_int n
+    in
+    sqrt var
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let sorted_desc counts =
+  let sorted = Array.copy counts in
+  Array.sort (fun a b -> compare b a) sorted;
+  sorted
+
+let cumulative_share counts =
+  let sorted = sorted_desc counts in
+  let total = Array.fold_left ( + ) 0 sorted in
+  let totalf = float_of_int (max total 1) in
+  let acc = ref 0 in
+  Array.map
+    (fun c ->
+      acc := !acc + c;
+      float_of_int !acc /. totalf)
+    sorted
+
+let items_for_share counts s =
+  let sorted = sorted_desc counts in
+  let total = Array.fold_left ( + ) 0 sorted in
+  if total = 0 then 0
+  else
+    let target = s *. float_of_int total in
+    let rec go i acc =
+      if i >= Array.length sorted then i
+      else
+        let acc = acc + sorted.(i) in
+        if float_of_int acc >= target then i + 1 else go (i + 1) acc
+    in
+    go 0 0

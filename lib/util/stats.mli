@@ -1,0 +1,22 @@
+(** Small statistics helpers shared by the profiler and the experiment
+    harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 on arrays shorter than 2. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,1\]]: linear-interpolation percentile
+    of an array that is {e not} required to be sorted (a sorted copy is
+    taken). Raises [Invalid_argument] on the empty array. *)
+
+val cumulative_share : int array -> float array
+(** [cumulative_share counts] sorts [counts] descending and returns the
+    running share of the total: element [i] is the fraction of the sum
+    captured by the [i+1] largest counts. Used for the Figure 2 curve. *)
+
+val items_for_share : int array -> float -> int
+(** [items_for_share counts s] is the least number of the largest elements
+    of [counts] whose sum reaches share [s] of the total (0 if total is 0). *)

@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : (string * align) list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers = { headers; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tbl.add_row: cell count mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure (List.map fst t.headers);
+  List.iter (function Cells c -> measure c | Rule -> ()) t.rows;
+  let pad align w s =
+    let n = w - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let aligns = List.map snd t.headers in
+  let render_cells cells =
+    let padded =
+      List.mapi
+        (fun i c -> pad (List.nth aligns i) widths.(i) c)
+        cells
+    in
+    "| " ^ String.concat " | " padded ^ " |"
+  in
+  let rule =
+    "+"
+    ^ String.concat "+"
+        (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths))
+    ^ "+"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (render_cells (List.map fst t.headers));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun r ->
+      (match r with
+      | Cells c -> Buffer.add_string buf (render_cells c)
+      | Rule -> Buffer.add_string buf rule);
+      Buffer.add_char buf '\n')
+    (List.rev t.rows);
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print t = print_endline (render t)
+
+let fpct x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x
+
+let fmiss x = if x >= 0.1 then Printf.sprintf "%.2f" x else Printf.sprintf "%.3f" x

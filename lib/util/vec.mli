@@ -1,0 +1,37 @@
+(** Growable arrays of unboxed integers.
+
+    Used for dynamic basic-block traces (tens of millions of entries), so
+    the representation is a plain [int array] with amortized-doubling
+    growth and no per-element boxing. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh empty vector. *)
+
+val length : t -> int
+
+val push : t -> int -> unit
+(** Append one element, growing the backing store if needed. *)
+
+val get : t -> int -> int
+(** [get v i] is the [i]th element; raises [Invalid_argument] out of range. *)
+
+val set : t -> int -> int -> unit
+
+val clear : t -> unit
+(** Reset length to zero; keeps the backing store. *)
+
+val iter : (int -> unit) -> t -> unit
+
+val iteri : (int -> int -> unit) -> t -> unit
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+
+val to_array : t -> int array
+(** Fresh array copy of the live prefix. *)
+
+val of_array : int array -> t
+
+val unsafe_get : t -> int -> int
+(** No bounds check; for the hot replay loops. *)

@@ -1,0 +1,36 @@
+module Kernel = Stc_synth.Kernel
+module Walker = Stc_trace.Walker
+module Probe = Stc_trace.Probe
+module Recorder = Stc_trace.Recorder
+
+type job = { db_label : string; db : Stc_db.Database.t; query : int }
+
+let jobs ~dbs ~queries =
+  List.concat_map
+    (fun (db_label, db) ->
+      List.map (fun query -> { db_label; db; query }) queries)
+    dbs
+
+let job_name j = Printf.sprintf "%s/Q%d" j.db_label j.query
+
+let run_traced ~kernel ~walker ?(on_boundary = fun _ -> ()) jobs =
+  Probe.with_walker walker @@ fun () ->
+  List.iter
+    (fun job ->
+      on_boundary job;
+      Kernel.query_setup kernel walker;
+      let plan = Queries.plan job.db job.query in
+      ignore (Stc_db.Exec.run job.db plan))
+    jobs
+
+let record ~kernel ~walker_seed ~dbs ~queries =
+  (* start from a cold, reproducible buffer pool *)
+  List.iter (fun (_, db) -> Stc_db.Bufmgr.reset (Stc_db.Database.bufmgr db)) dbs;
+  let recorder = Recorder.create () in
+  let walker =
+    Kernel.make_walker kernel ~seed:walker_seed ~sink:(Recorder.sink recorder)
+  in
+  run_traced ~kernel ~walker
+    ~on_boundary:(fun j -> Recorder.mark recorder (job_name j))
+    (jobs ~dbs ~queries);
+  recorder

@@ -1,0 +1,94 @@
+open Stc_db
+module S = Stc_dbdata.Schema
+module Rng = Stc_util.Rng
+module Recorder = Stc_trace.Recorder
+
+type txn = Order_status of int | Stock_check of int | Customer_summary of int
+
+let c x = Expr.Col x
+
+let idx table col key quals =
+  Plan.Index_scan { table; index = table ^ "." ^ col; key; quals }
+
+let plan = function
+  | Order_status okey ->
+    (* the order and all its lines *)
+    let orders = idx "orders" "o_orderkey" (Plan.Key_const_eq okey) [] in
+    let nl =
+      Plan.Nest_loop
+        {
+          outer = orders;
+          inner = idx "lineitem" "l_orderkey" (Plan.Key_outer_eq S.O.orderkey) [];
+          quals = [];
+        }
+    in
+    (* orders 0-4, lineitem 5-19 *)
+    Plan.Result
+      {
+        child = nl;
+        exprs =
+          [ c 0; c (5 + S.L.linenumber); c (5 + S.L.quantity); c (5 + S.L.shipdate) ];
+      }
+  | Stock_check pkey ->
+    let ps = idx "partsupp" "ps_partkey" (Plan.Key_const_eq pkey) [] in
+    let nl =
+      Plan.Nest_loop
+        {
+          outer = ps;
+          inner = idx "supplier" "s_suppkey" (Plan.Key_outer_eq S.PS.suppkey) [];
+          quals = [];
+        }
+    in
+    (* partsupp 0-3, supplier 4-6 *)
+    Plan.Result
+      { child = nl; exprs = [ c 0; c 1; c S.PS.availqty; c (4 + S.S.acctbal) ] }
+  | Customer_summary ckey ->
+    let cust = idx "customer" "c_custkey" (Plan.Key_const_eq ckey) [] in
+    let nl =
+      Plan.Nest_loop
+        {
+          outer = cust;
+          inner = idx "orders" "o_custkey" (Plan.Key_outer_eq S.C.custkey) [];
+          quals = [];
+        }
+    in
+    (* customer 0-3, orders 4-8 *)
+    Plan.Limit
+      {
+        child =
+          Plan.Result
+            { child = nl; exprs = [ c 0; c (4 + S.O.orderkey); c (4 + S.O.orderdate) ] };
+        limit = 10;
+      }
+
+let mix db ~seed ~n =
+  let rng = Rng.create seed in
+  let orders = Heap.n_rows (Database.heap db "orders") in
+  let parts = Heap.n_rows (Database.heap db "part") in
+  let customers = Heap.n_rows (Database.heap db "customer") in
+  List.init n (fun _ ->
+      let r = Rng.float rng 1.0 in
+      if r < 0.45 then Order_status (1 + Rng.int rng orders)
+      else if r < 0.80 then Stock_check (1 + Rng.int rng parts)
+      else Customer_summary (1 + Rng.int rng customers))
+
+let txn_name = function
+  | Order_status k -> Printf.sprintf "order_status(%d)" k
+  | Stock_check k -> Printf.sprintf "stock_check(%d)" k
+  | Customer_summary k -> Printf.sprintf "customer_summary(%d)" k
+
+let record ~kernel ~walker_seed ~db ~txns =
+  Stc_db.Bufmgr.reset (Database.bufmgr db);
+  let recorder = Recorder.create () in
+  let walker =
+    Stc_synth.Kernel.make_walker kernel ~seed:walker_seed
+      ~sink:(Recorder.sink recorder)
+  in
+  Stc_trace.Probe.with_walker walker (fun () ->
+      List.iter
+        (fun txn ->
+          Recorder.mark recorder (txn_name txn);
+          Stc_synth.Kernel.query_setup kernel walker;
+          ignore (Exec.run db (plan txn)))
+        txns);
+  recorder

@@ -1,0 +1,27 @@
+(** An OLTP-style workload — the paper's Section 8 names OLTP as the next
+    target for the technique. Short, index-driven read transactions over
+    the same database: order status (order + its lines), stock check
+    (part's suppliers), customer summary (customer + recent orders). Each
+    transaction is parsed/planned and run to completion, so the
+    instruction stream interleaves many small executor invocations — the
+    antithesis of the long DSS scans. *)
+
+type txn =
+  | Order_status of int  (** order key *)
+  | Stock_check of int  (** part key *)
+  | Customer_summary of int  (** customer key *)
+
+val plan : txn -> Stc_db.Plan.t
+
+val mix : Stc_db.Database.t -> seed:int64 -> n:int -> txn list
+(** A random transaction mix (45 % order status, 35 % stock check, 20 %
+    customer summary) with keys drawn uniformly from the loaded data. *)
+
+val record :
+  kernel:Stc_synth.Kernel.t ->
+  walker_seed:int64 ->
+  db:Stc_db.Database.t ->
+  txns:txn list ->
+  Stc_trace.Recorder.t
+(** Trace the given transactions (buffer pool reset first; one recorder
+    mark per transaction). *)

@@ -1,0 +1,11 @@
+(** A trivial, pure plan interpreter over the generated tables — the
+    correctness oracle for the instrumented executor. It shares no code
+    with the engine (its own expression evaluator, joins by
+    list-comprehension), but reproduces the engine's tuple ordering so
+    results are comparable list-for-list. *)
+
+type t
+
+val of_data : Stc_dbdata.Datagen.t -> t
+
+val run : t -> Stc_db.Plan.t -> int array list

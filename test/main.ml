@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "stc_repro"
+    [
+      ("util", Test_util.suite);
+      ("cfg", Test_cfg.suite);
+      ("trace", Test_trace.suite);
+      ("profile", Test_profile.suite);
+      ("db", Test_db.suite);
+      ("dbdata", Test_dbdata.suite);
+      ("queries", Test_queries.suite);
+      ("workload", Test_workload.suite);
+      ("layout", Test_layout.suite);
+      ("cachesim", Test_cachesim.suite);
+      ("fetch", Test_fetch.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+    ]

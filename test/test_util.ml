@@ -1,0 +1,149 @@
+open Stc_util
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_named_independent () =
+  let r = Rng.create 42L in
+  let a = Rng.named r "alpha" and b = Rng.named r "beta" in
+  Alcotest.(check bool) "different streams" true (Rng.int64 a <> Rng.int64 b);
+  let a' = Rng.named r "alpha" in
+  Alcotest.(check int64) "named is stable" (Rng.int64 (Rng.named r "alpha")) (Rng.int64 a');
+  ignore b
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 10_000 do
+    let x = Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  for _ = 1 to 10_000 do
+    let x = Rng.float r 3.0 in
+    Alcotest.(check bool) "float in range" true (x >= 0.0 && x < 3.0)
+  done
+
+let test_rng_bernoulli () =
+  let r = Rng.create 9L in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool) "about 0.3" true (abs_float (p -. 0.3) < 0.01)
+
+let test_zipf_skew () =
+  let r = Rng.create 11L in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 50_000 do
+    let k = Rng.zipf r ~n:100 ~s:1.0 in
+    counts.(k) <- counts.(k) + 1
+  done;
+  Alcotest.(check bool) "rank 0 most popular" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank 10 > rank 90" true (counts.(10) > counts.(90))
+
+let test_vec_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 9_999 do
+    Vec.push v (i * 3)
+  done;
+  Alcotest.(check int) "length" 10_000 (Vec.length v);
+  Alcotest.(check int) "get" 299 (Vec.get v 99 / 3 * 3 + 299 - 297);
+  Alcotest.(check int) "get exact" (99 * 3) (Vec.get v 99);
+  Alcotest.check_raises "oob" (Invalid_argument "Vec: index out of bounds")
+    (fun () -> ignore (Vec.get v 10_000))
+
+let test_vec_iter_fold () =
+  let v = Vec.of_array [| 1; 2; 3; 4 |] in
+  Alcotest.(check int) "fold sum" 10 (Vec.fold ( + ) 0 v);
+  let acc = ref [] in
+  Vec.iteri (fun i x -> acc := (i, x) :: !acc) v;
+  Alcotest.(check (list (pair int int)))
+    "iteri" [ (0, 1); (1, 2); (2, 3); (3, 4) ] (List.rev !acc);
+  Vec.clear v;
+  Alcotest.(check int) "cleared" 0 (Vec.length v)
+
+let test_stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  check_float "median" 50.0 (Stats.percentile xs 0.5);
+  check_float "p0" 0.0 (Stats.percentile xs 0.0);
+  check_float "p100" 100.0 (Stats.percentile xs 1.0)
+
+let test_stats_cumulative () =
+  let counts = [| 50; 30; 15; 5 |] in
+  let shares = Stats.cumulative_share counts in
+  check_float "first" 0.5 shares.(0);
+  check_float "second" 0.8 shares.(1);
+  check_float "all" 1.0 shares.(3);
+  Alcotest.(check int) "items for 80%" 2 (Stats.items_for_share counts 0.8);
+  Alcotest.(check int) "items for 81%" 3 (Stats.items_for_share counts 0.81)
+
+let test_histo () =
+  let h = Histo.create () in
+  Histo.add h 0;
+  Histo.add h 10;
+  Histo.add h ~weight:2 1000;
+  Alcotest.(check int) "total" 4 (Histo.total h);
+  check_float "below 1" 0.25 (Histo.mass_below h 1);
+  check_float "below 2000" 1.0 (Histo.mass_below h 2048);
+  Alcotest.(check bool) "below 100 excludes the 1000s" true
+    (abs_float (Histo.mass_below h 128 -. 0.5) < 1e-9)
+
+let test_bits () =
+  Alcotest.(check int) "log2 1024" 10 (Bits.log2_exact 1024);
+  Alcotest.(check int) "log2_ceil 1000" 10 (Bits.log2_ceil 1000);
+  Alcotest.(check bool) "pow2" true (Bits.is_pow2 4096);
+  Alcotest.(check bool) "not pow2" false (Bits.is_pow2 4095);
+  Alcotest.check_raises "log2_exact rejects"
+    (Invalid_argument "Bits.log2_exact: not a power of two") (fun () ->
+      ignore (Bits.log2_exact 3))
+
+let test_tbl_render () =
+  let t = Tbl.create ~headers:[ ("name", Tbl.Left); ("value", Tbl.Right) ] in
+  Tbl.add_row t [ "x"; "1" ];
+  Tbl.add_row t [ "longer"; "23" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "contains header" true
+    (Astring_like.contains s "name");
+  Alcotest.(check bool) "right aligned" true (Astring_like.contains s "    1")
+
+let qcheck_tests =
+  [
+    QCheck.Test.make ~name:"vec roundtrip" ~count:200
+      QCheck.(array small_nat)
+      (fun a -> Vec.to_array (Vec.of_array a) = a);
+    QCheck.Test.make ~name:"items_for_share monotone" ~count:200
+      QCheck.(pair (array_of_size Gen.(int_range 1 50) (int_range 0 1000)) (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+      (fun (counts, (s1, s2)) ->
+        let lo = min s1 s2 and hi = max s1 s2 in
+        Stats.items_for_share counts lo <= Stats.items_for_share counts hi);
+    QCheck.Test.make ~name:"histo mass_below monotone" ~count:200
+      QCheck.(pair (list (int_range 0 100000)) (pair (int_range 0 200000) (int_range 0 200000)))
+      (fun (vs, (a, b)) ->
+        let h = Histo.create () in
+        List.iter (Histo.add h) vs;
+        let lo = min a b and hi = max a b in
+        Histo.mass_below h lo <= Histo.mass_below h hi +. 1e-9);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
+    Alcotest.test_case "rng named" `Quick test_rng_named_independent;
+    Alcotest.test_case "rng bounds" `Quick test_rng_bounds;
+    Alcotest.test_case "rng bernoulli" `Quick test_rng_bernoulli;
+    Alcotest.test_case "zipf skew" `Quick test_zipf_skew;
+    Alcotest.test_case "vec push/get" `Quick test_vec_push_get;
+    Alcotest.test_case "vec iter/fold" `Quick test_vec_iter_fold;
+    Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
+    Alcotest.test_case "stats cumulative" `Quick test_stats_cumulative;
+    Alcotest.test_case "histo" `Quick test_histo;
+    Alcotest.test_case "bits" `Quick test_bits;
+    Alcotest.test_case "tbl render" `Quick test_tbl_render;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest qcheck_tests

@@ -1,0 +1,65 @@
+(* Calibration report: compare the synthetic kernel's static and dynamic
+   shape statistics against the paper's characterization (Tables 1-2,
+   Figure 2). Used when tuning the generator knobs in lib/synth.
+
+   Usage: dune exec tools/calibrate.exe [SF] *)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  let kernel = Stc_synth.Kernel.build () in
+  let t1 = Unix.gettimeofday () in
+  let c = Stc_cfg.Program.static_counts kernel.Stc_synth.Kernel.program in
+  Printf.printf "kernel: %.2fs procs=%d blocks=%d instrs=%d\n%!" (t1 -. t0)
+    c.Stc_cfg.Program.n_procs c.Stc_cfg.Program.n_blocks c.Stc_cfg.Program.n_instrs;
+  let sf = try float_of_string Sys.argv.(1) with _ -> 0.002 in
+  let t0 = Unix.gettimeofday () in
+  let data = Stc_dbdata.Datagen.generate ~sf () in
+  let db_b = Stc_db.Database.load data ~kind:Stc_db.Database.Btree_db in
+  let db_h = Stc_db.Database.load data ~kind:Stc_db.Database.Hash_db in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "load sf=%.4f: %.2fs lineitem=%d rows\n%!" sf (t1 -. t0)
+    (Stc_dbdata.Datagen.row_count data "lineitem");
+  (* training *)
+  let t0 = Unix.gettimeofday () in
+  let tr = Stc_workload.Driver.record ~kernel ~walker_seed:1L
+      ~dbs:[("btree", db_b)] ~queries:Stc_workload.Queries.training_set in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "training trace: %.2fs blocks=%d\n%!" (t1 -. t0) (Stc_trace.Recorder.length tr);
+  let t0 = Unix.gettimeofday () in
+  let te = Stc_workload.Driver.record ~kernel ~walker_seed:2L
+      ~dbs:[("btree", db_b); ("hash", db_h)] ~queries:Stc_workload.Queries.test_set in
+  let t1 = Unix.gettimeofday () in
+  Printf.printf "test trace: %.2fs blocks=%d\n%!" (t1 -. t0) (Stc_trace.Recorder.length te);
+  (* profile the training set *)
+  let t0 = Unix.gettimeofday () in
+  let p = Stc_profile.Profile.create kernel.Stc_synth.Kernel.program in
+  Stc_trace.Recorder.replay tr (Stc_profile.Profile.sink p);
+  let t1 = Unix.gettimeofday () in
+  let fp = Stc_profile.Footprint.compute p in
+  Printf.printf "profile: %.2fs\n%!" (t1 -. t0);
+  Printf.printf "footprint: procs %d/%d (%.1f%%) blocks %d/%d (%.1f%%) instrs %d/%d (%.1f%%)\n%!"
+    fp.Stc_profile.Footprint.procs_executed fp.procs_total (Stc_profile.Footprint.pct fp.procs_executed fp.procs_total)
+    fp.blocks_executed fp.blocks_total (Stc_profile.Footprint.pct fp.blocks_executed fp.blocks_total)
+    fp.instrs_executed fp.instrs_total (Stc_profile.Footprint.pct fp.instrs_executed fp.instrs_total);
+  let pop = Stc_profile.Popularity.compute p in
+  Printf.printf "popularity: 90%% in %d blocks, 99%% in %d blocks (executed %d)\n%!"
+    (Stc_profile.Popularity.blocks_for_share pop 0.90)
+    (Stc_profile.Popularity.blocks_for_share pop 0.99)
+    (Stc_profile.Popularity.executed_blocks pop);
+  (* executed procs by name prefix *)
+  let prog = kernel.Stc_synth.Kernel.program in
+  let buckets = Hashtbl.create 8 in
+  Array.iter (fun pr ->
+    if Stc_profile.Profile.proc_entry_count p pr.Stc_cfg.Proc.pid > 0 then begin
+      let name = pr.Stc_cfg.Proc.name in
+      let prefix = try String.sub name 0 (String.index name '_') with Not_found -> "eng" in
+      let prefix = if String.length prefix > 5 then "eng" else prefix in
+      Hashtbl.replace buckets prefix (1 + Option.value ~default:0 (Hashtbl.find_opt buckets prefix))
+    end) prog.Stc_cfg.Program.procs;
+  Hashtbl.iter (fun k v -> Printf.printf "  executed %s: %d\n" k v) buckets;
+  let det = Stc_profile.Determinism.compute p in
+  List.iter (fun r ->
+    Printf.printf "%-18s static %.1f%% dynamic %.1f%% predictable %.1f%%\n"
+      (Stc_cfg.Terminator.kind_name r.Stc_profile.Determinism.kind)
+      r.static_pct r.dynamic_pct r.predictable_pct) det.Stc_profile.Determinism.rows;
+  Printf.printf "overall predictable: %.1f%%\n%!" det.overall_predictable_pct
