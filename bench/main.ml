@@ -9,7 +9,9 @@
      table1 | figure2 | reuse | table2 | figure3 | table3 | table4
        | ablation | micro      — run a single part
      --quick                   — reduced kernel and scale factor
-     --scale SF                — override the TPC-D scale factor *)
+     --scale SF                — override the TPC-D scale factor
+     --metrics FILE            — export run metrics as JSONL to FILE
+     --progress                — rate/ETA progress lines on stderr *)
 
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
@@ -18,7 +20,11 @@ module F = Stc_fetch
 module P = Stc_profile
 
 let parse_args () =
-  let quick = ref false and scale = ref None and parts = ref [] in
+  let quick = ref false
+  and scale = ref None
+  and metrics = ref None
+  and progress = ref false
+  and parts = ref [] in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -27,16 +33,34 @@ let parse_args () =
     | "--scale" :: v :: rest ->
       scale := Some (float_of_string v);
       go rest
+    | "--metrics" :: v :: rest ->
+      metrics := Some v;
+      go rest
+    | "--progress" :: rest ->
+      progress := true;
+      go rest
     | part :: rest ->
       parts := part :: !parts;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !scale, List.rev !parts)
+  (!quick, !scale, !metrics, !progress, List.rev !parts)
 
-let quick, scale, parts = parse_args ()
+let quick, scale, metrics_file, progress, parts = parse_args ()
+
+(* Fail on an unwritable --metrics path before the run, not after it. *)
+let () =
+  match metrics_file with
+  | None -> ()
+  | Some path -> (
+    try close_out (open_out path)
+    with Sys_error e ->
+      Printf.eprintf "bench: cannot write metrics file: %s\n" e;
+      exit 1)
 
 let wants part = parts = [] || List.mem part parts
+
+let registry = Stc_obs.Registry.create ()
 
 let pipeline =
   lazy
@@ -49,7 +73,7 @@ let pipeline =
      Printf.printf "[setup] building kernel and traces (sf=%.4g)...\n%!"
        config.Pipeline.sf;
      let t0 = Unix.gettimeofday () in
-     let pl = Pipeline.run ~config () in
+     let pl = Pipeline.run ~metrics:registry ~progress ~config () in
      Printf.printf "[setup] done in %.1fs (test trace: %d blocks)\n\n%!"
        (Unix.gettimeofday () -. t0)
        (Stc_trace.Recorder.length pl.Pipeline.test);
@@ -107,7 +131,7 @@ let run_tables () =
   if wants "table3" || wants "table4" then begin
     section "Tables 3 and 4 (trace-driven simulation)";
     let t0 = Unix.gettimeofday () in
-    let rows = E.simulate (pl ()) in
+    let rows = E.simulate ~metrics:registry (pl ()) in
     Printf.printf "(%d simulations in %.1fs)\n\n%!" (List.length rows)
       (Unix.gettimeofday () -. t0);
     if wants "table3" then begin
@@ -123,7 +147,7 @@ let run_tables () =
   end;
   if wants "ablation" && parts <> [] then begin
     section "Ablation";
-    E.print_ablation (E.ablation (pl ()));
+    E.print_ablation (E.ablation ~metrics:registry (pl ()));
     print_newline ()
   end;
   if wants "extensions" then begin
@@ -229,4 +253,9 @@ let micro () =
 
 let () =
   run_tables ();
-  if wants "micro" then micro ()
+  if wants "micro" then micro ();
+  match metrics_file with
+  | Some path ->
+    Stc_obs.Export.write_file registry path;
+    Printf.printf "[metrics] written to %s\n%!" path
+  | None -> ()

@@ -3,6 +3,7 @@
 open Cmdliner
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
+module Obs = Stc_obs
 
 let pipeline_config quick sf seed frames =
   let base = if quick then Pipeline.quick_config else Pipeline.default_config in
@@ -57,65 +58,126 @@ let branch_arg =
     value & opt float 0.3
     & info [ "branch-threshold" ] ~docv:"P" ~doc:"STC Branch Threshold.")
 
-let setup quick sf seed frames =
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export run metrics (counters, per-phase timing spans, \
+           experiment-cell records) to $(docv) as JSONL; see README \
+           'Observability'. Compare two runs with tools/metrics_diff.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:"Report event rate (and ETA where known) on stderr.")
+
+(* Fail on an unwritable --metrics path before the run, not after it. *)
+let check_metrics_path = function
+  | None -> ()
+  | Some path -> (
+    try close_out (open_out path)
+    with Sys_error e ->
+      Printf.eprintf "stc_repro: cannot write metrics file: %s\n" e;
+      exit 1)
+
+(* Every command carries one registry; spans and counters are collected
+   unconditionally (the cost is nil next to the simulation) and exported
+   only when --metrics was given. *)
+let setup ~metrics:reg ~progress quick sf seed frames =
   let config = pipeline_config quick sf seed frames in
   Printf.printf
     "Building kernel, loading TPC-D data (sf=%.4g), tracing Training and Test sets...\n%!"
     config.Pipeline.sf;
   let t0 = Unix.gettimeofday () in
-  let pl = Pipeline.run ~config () in
+  let pl = Pipeline.run ~metrics:reg ~progress ~config () in
   Printf.printf "Setup done in %.1fs: test trace has %d basic blocks.\n\n%!"
     (Unix.gettimeofday () -. t0)
     (Stc_trace.Recorder.length pl.Pipeline.test);
   pl
 
+let finish_metrics reg metrics_file =
+  match metrics_file with
+  | None -> ()
+  | Some path ->
+    Obs.Export.write_file reg path;
+    Printf.printf "\nMetrics: %d JSONL records written to %s\n%!"
+      (List.length (String.split_on_char '\n' (Obs.Export.to_jsonl reg)) - 1)
+      path
+
 let characterize_cmd =
-  let run quick sf seed frames =
-    let pl = setup quick sf seed frames in
+  let run quick sf seed frames metrics progress =
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    let pl = setup ~metrics:reg ~progress quick sf seed frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
     E.print_figure2 pl;
     print_newline ();
     E.print_reuse (E.reuse pl);
     print_newline ();
-    E.print_table2 (E.table2 pl)
+    E.print_table2 (E.table2 pl);
+    finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Section 4: Table 1, Figure 2, reuse, Table 2.")
-    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
+      $ progress_arg)
+
+let simulate_run quick sf seed frames exec branch metrics progress =
+  let reg = Obs.Registry.create () in
+  check_metrics_path metrics;
+  let pl = setup ~metrics:reg ~progress quick sf seed frames in
+  Printf.printf "Simulating the full Table 3 / Table 4 grid...\n%!";
+  let t0 = Unix.gettimeofday () in
+  let cells =
+    if progress then
+      Some (Obs.Progress.create ~interval:10 ~label:"simulate" ())
+    else None
+  in
+  let rows =
+    E.simulate ~metrics:reg ?progress:cells ~config:(sim_config exec branch) pl
+  in
+  (match cells with Some p -> Obs.Progress.finish p | None -> ());
+  Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
+    (Unix.gettimeofday () -. t0);
+  E.print_table3 rows;
+  print_newline ();
+  E.print_table4 rows;
+  print_newline ();
+  E.print_sequentiality rows;
+  finish_metrics reg metrics
+
+let simulate_term =
+  Term.(
+    const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
+    $ branch_arg $ metrics_arg $ progress_arg)
 
 let simulate_cmd =
-  let run quick sf seed frames exec branch =
-    let pl = setup quick sf seed frames in
-    Printf.printf "Simulating the full Table 3 / Table 4 grid...\n%!";
-    let t0 = Unix.gettimeofday () in
-    let rows = E.simulate ~config:(sim_config exec branch) pl in
-    Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
-      (Unix.gettimeofday () -. t0);
-    E.print_table3 rows;
-    print_newline ();
-    E.print_table4 rows;
-    print_newline ();
-    E.print_sequentiality rows
-  in
-  Cmd.v
-    (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.")
-    Term.(
-      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
-      $ branch_arg)
+  Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames =
-    let pl = setup quick sf seed frames in
-    E.print_ablation (E.ablation pl)
+  let run quick sf seed frames metrics progress =
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    let pl = setup ~metrics:reg ~progress quick sf seed frames in
+    E.print_ablation (E.ablation ~metrics:reg pl);
+    finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
-    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
+      $ progress_arg)
 
 let extensions_cmd =
-  let run quick sf seed frames =
-    let pl = setup quick sf seed frames in
+  let run quick sf seed frames metrics progress =
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    let pl = setup ~metrics:reg ~progress quick sf seed frames in
     Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining pl);
     print_newline ();
     Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp pl);
@@ -128,17 +190,22 @@ let extensions_cmd =
     print_newline ();
     Stc_core.Extensions.print_fetch_units (Stc_core.Extensions.fetch_units pl);
     print_newline ();
-    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity pl)
+    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity pl);
+    finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "extensions"
        ~doc:
          "Section 8 future work: inlining, OLTP, branch prediction,           auto-tuning.")
-    Term.(const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg)
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
+      $ progress_arg)
 
 let all_cmd =
-  let run quick sf seed frames exec branch =
-    let pl = setup quick sf seed frames in
+  let run quick sf seed frames exec branch metrics progress =
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    let pl = setup ~metrics:reg ~progress quick sf seed frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
     E.print_figure2 pl;
@@ -147,27 +214,29 @@ let all_cmd =
     print_newline ();
     E.print_table2 (E.table2 pl);
     print_newline ();
-    let rows = E.simulate ~config:(sim_config exec branch) pl in
+    let rows = E.simulate ~metrics:reg ~config:(sim_config exec branch) pl in
     E.print_table3 rows;
     print_newline ();
     E.print_table4 rows;
     print_newline ();
-    E.print_sequentiality rows
+    E.print_sequentiality rows;
+    finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
-      $ branch_arg)
+      $ branch_arg $ metrics_arg $ progress_arg)
 
 let () =
   let info =
     Cmd.info "stc_repro"
       ~doc:
         "Reproduction of 'Optimization of Instruction Fetch for Decision \
-         Support Workloads' (Ramirez et al., ICPP 1999)."
+         Support Workloads' (Ramirez et al., ICPP 1999). With no \
+         subcommand, runs $(b,simulate)."
   in
   exit
     (Cmd.eval
-       (Cmd.group info
+       (Cmd.group ~default:simulate_term info
           [ characterize_cmd; simulate_cmd; ablation_cmd; extensions_cmd; all_cmd ]))

@@ -1,4 +1,5 @@
 module Bits = Stc_util.Bits
+module Counter = Stc_obs.Metric.Counter
 
 type t = {
   assoc : int;
@@ -11,10 +12,12 @@ type t = {
   v_tags : int array; (* victim buffer, -1 invalid *)
   v_stamps : int array;
   mutable clock : int;
-  mutable accesses : int;
-  mutable misses : int;
-  mutable victim_hits : int;
+  accesses : Counter.t;
+  misses : Counter.t;
+  victim_hits : Counter.t;
 }
+
+type stats = { s_accesses : int; s_misses : int; s_victim_hits : int }
 
 let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ~size_bytes () =
   if assoc < 1 then invalid_arg "Icache.create: assoc must be >= 1";
@@ -36,25 +39,37 @@ let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ~size_bytes () =
     v_tags = Array.make victim_lines (-1);
     v_stamps = Array.make victim_lines 0;
     clock = 0;
-    accesses = 0;
-    misses = 0;
-    victim_hits = 0;
+    accesses = Counter.make "accesses";
+    misses = Counter.make "misses";
+    victim_hits = Counter.make "victim_hits";
   }
 
 let line_bytes t = 1 lsl t.line_bits
 
 let size_bytes t = t.size
 
-let accesses t = t.accesses
+let accesses t = Counter.value t.accesses
 
-let misses t = t.misses
+let misses t = Counter.value t.misses
 
-let victim_hits t = t.victim_hits
+let victim_hits t = Counter.value t.victim_hits
+
+let stats t =
+  {
+    s_accesses = Counter.value t.accesses;
+    s_misses = Counter.value t.misses;
+    s_victim_hits = Counter.value t.victim_hits;
+  }
+
+let attach_metrics t reg ~prefix =
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.accesses;
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.misses;
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.victim_hits
 
 let reset_stats t =
-  t.accesses <- 0;
-  t.misses <- 0;
-  t.victim_hits <- 0
+  Counter.reset t.accesses;
+  Counter.reset t.misses;
+  Counter.reset t.victim_hits
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
@@ -95,7 +110,7 @@ let victim_swap t line evicted =
   end
 
 let access t addr =
-  t.accesses <- t.accesses + 1;
+  Counter.incr t.accesses;
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_bits in
   let set = line land t.set_mask in
@@ -122,11 +137,11 @@ let access t addr =
     t.tags.(base + !way) <- line;
     t.stamps.(base + !way) <- t.clock;
     if victim_swap t line evicted then begin
-      t.victim_hits <- t.victim_hits + 1;
+      Counter.incr t.victim_hits;
       true
     end
     else begin
-      t.misses <- t.misses + 1;
+      Counter.incr t.misses;
       false
     end
   end

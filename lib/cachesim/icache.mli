@@ -34,7 +34,21 @@ val misses : t -> int
 
 val victim_hits : t -> int
 
+type stats = { s_accesses : int; s_misses : int; s_victim_hits : int }
+
+val stats : t -> stats
+(** One atomic snapshot of all three counters, so callers comparing or
+    publishing them mid-simulation never mix values from different
+    instants. Prefer this over three separate accessor calls. *)
+
+val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
+(** Register this cache's counters with a metrics registry under
+    [prefix ^ "icache."] ([accesses], [misses], [victim_hits]); they keep
+    updating in place on every {!access}. *)
+
 val reset_stats : t -> unit
+(** Zero the statistics counters; cache contents are untouched. *)
 
 val flush : t -> unit
-(** Invalidate all contents and reset statistics. *)
+(** Invalidate all contents {e and} reset statistics: [flush] =
+    cold cache + {!reset_stats}. *)

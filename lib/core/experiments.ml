@@ -140,6 +140,14 @@ let default_sim_config =
 
 type variant = Direct | Two_way | Victim | Ideal | Trace_cache | Tc_ideal
 
+let variant_name = function
+  | Direct -> "direct"
+  | Two_way -> "2-way"
+  | Victim -> "victim"
+  | Ideal -> "ideal"
+  | Trace_cache -> "trace-cache"
+  | Tc_ideal -> "tc-ideal"
+
 type row = {
   layout : string;
   cache_kb : int;
@@ -158,7 +166,37 @@ let engine_config (c : sim_config) =
     miss_penalty = c.miss_penalty;
   }
 
-let run_one (c : sim_config) (pl : Pipeline.t) layout variant ~cache_kb ~cfa_kb =
+let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
+  let open Stc_obs.Json in
+  let icache_fields =
+    match icache with
+    | None -> []
+    | Some c ->
+      let s = Stc_cachesim.Icache.stats c in
+      [
+        ("icache_accesses", Int s.Stc_cachesim.Icache.s_accesses);
+        ("icache_misses", Int s.Stc_cachesim.Icache.s_misses);
+        ("icache_victim_hits", Int s.Stc_cachesim.Icache.s_victim_hits);
+      ]
+  in
+  Stc_obs.Registry.event reg ~kind:(table ^ ".cell")
+    ([
+       ("layout", Str row.layout);
+       ("variant", Str (variant_name row.variant));
+       ("cache_kb", Int row.cache_kb);
+       ("cfa_kb", Int row.cfa_kb);
+       ("instrs", Int r.F.Engine.instrs);
+       ("cycles", Int r.F.Engine.cycles);
+       ("miss_pct", Float row.miss_pct);
+       ("bandwidth", Float row.bandwidth);
+       ("instrs_between_taken", Float row.instrs_between_taken);
+       ("tc_lookups", Int r.F.Engine.tc_lookups);
+       ("tc_hits", Int r.F.Engine.tc_hits);
+     ]
+    @ icache_fields)
+
+let run_one ?metrics ?(table = "table34") (c : sim_config) (pl : Pipeline.t)
+    layout variant ~cache_kb ~cfa_kb =
   let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
   let icache =
     match variant with
@@ -177,31 +215,49 @@ let run_one (c : sim_config) (pl : Pipeline.t) layout variant ~cache_kb ~cfa_kb 
     | Trace_cache | Tc_ideal -> Some (F.Tracecache.create ~entries:c.tc_entries ())
     | Direct | Two_way | Victim | Ideal -> None
   in
-  let r = F.Engine.run ?icache ?trace_cache (engine_config c) view in
-  {
-    layout = layout.L.Layout.name;
-    cache_kb = (match variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
-    cfa_kb;
-    variant;
-    miss_pct = F.Engine.miss_rate_pct r;
-    bandwidth = F.Engine.bandwidth r;
-    instrs_between_taken = r.F.Engine.instrs_between_taken;
-    tc_hit_pct =
-      (if r.F.Engine.tc_lookups = 0 then 0.0
-       else
-         100.0 *. float_of_int r.F.Engine.tc_hits
-         /. float_of_int r.F.Engine.tc_lookups);
-  }
+  let r = F.Engine.run ?icache ?trace_cache ?metrics (engine_config c) view in
+  let row =
+    {
+      layout = layout.L.Layout.name;
+      cache_kb = (match variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
+      cfa_kb;
+      variant;
+      miss_pct = F.Engine.miss_rate_pct r;
+      bandwidth = F.Engine.bandwidth r;
+      instrs_between_taken = r.F.Engine.instrs_between_taken;
+      tc_hit_pct =
+        (if r.F.Engine.tc_lookups = 0 then 0.0
+         else
+           100.0 *. float_of_int r.F.Engine.tc_hits
+           /. float_of_int r.F.Engine.tc_lookups);
+    }
+  in
+  (match metrics with
+  | Some reg -> emit_cell reg ~table row r icache
+  | None -> ());
+  row
 
 let stc_params (c : sim_config) ~cache_bytes ~cfa_bytes =
   L.Stc.params ~exec_threshold:c.exec_threshold
     ~branch_threshold:c.branch_threshold ~cache_bytes ~cfa_bytes ()
 
-let simulate ?(config = default_sim_config) (pl : Pipeline.t) =
+let simulate ?metrics ?progress ?(config = default_sim_config)
+    (pl : Pipeline.t) =
+  let span name f =
+    match metrics with
+    | Some reg -> Stc_obs.Registry.span reg name f
+    | None -> f ()
+  in
+  span "simulate-grid" @@ fun () ->
   let profile = pl.Pipeline.profile in
-  let orig = L.Original.layout pl.Pipeline.program in
-  let ph = L.Pettis_hansen.layout profile in
+  let orig = span "layout-original" (fun () -> L.Original.layout pl.Pipeline.program) in
+  let ph = span "layout-pettis-hansen" (fun () -> L.Pettis_hansen.layout profile) in
   let rows = ref [] in
+  let run_one c pl layout variant ~cache_kb ~cfa_kb =
+    let r = run_one ?metrics c pl layout variant ~cache_kb ~cfa_kb in
+    (match progress with Some p -> Stc_obs.Progress.step p | None -> ());
+    r
+  in
   let emit r = rows := r :: !rows in
   (* ideal (perfect cache) for the fixed layouts *)
   emit (run_one config pl orig Ideal ~cache_kb:0 ~cfa_kb:(-1));
@@ -221,16 +277,19 @@ let simulate ?(config = default_sim_config) (pl : Pipeline.t) =
           let cfa_bytes = cfa_kb * 1024 in
           let params = stc_params config ~cache_bytes ~cfa_bytes in
           let torr =
-            L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-              ~cache_bytes ~cfa_bytes
+            span "layout-torrellas" (fun () ->
+                L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
+                  ~cache_bytes ~cfa_bytes)
           in
           let auto =
-            L.Stc.layout profile ~name:"auto" ~params
-              ~seeds:(L.Stc.auto_seeds profile)
+            span "layout-stc" (fun () ->
+                L.Stc.layout profile ~name:"auto" ~params
+                  ~seeds:(L.Stc.auto_seeds profile))
           in
           let ops =
-            L.Stc.layout profile ~name:"ops" ~params
-              ~seeds:(L.Stc.ops_seeds profile)
+            span "layout-stc" (fun () ->
+                L.Stc.layout profile ~name:"ops" ~params
+                  ~seeds:(L.Stc.ops_seeds profile))
           in
           List.iter
             (fun layout ->
@@ -435,7 +494,7 @@ type ablation_row = {
   a_bandwidth : float;
 }
 
-let ablation ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
+let ablation ?metrics ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
     ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
     (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
@@ -462,7 +521,8 @@ let ablation ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
                   ~seeds:(L.Stc.ops_seeds profile)
               in
               let r =
-                run_one config pl ops Direct ~cache_kb ~cfa_kb:a_cfa_kb
+                run_one ?metrics ~table:"ablation" config pl ops Direct
+                  ~cache_kb ~cfa_kb:a_cfa_kb
               in
               rows :=
                 {

@@ -53,6 +53,10 @@ val default_sim_config : sim_config
 
 type variant = Direct | Two_way | Victim | Ideal | Trace_cache | Tc_ideal
 
+val variant_name : variant -> string
+(** Stable export name ("direct", "2-way", "victim", "ideal",
+    "trace-cache", "tc-ideal"), used in JSONL cell records. *)
+
 type row = {
   layout : string;  (** "orig", "P&H", "Torr", "auto", "ops". *)
   cache_kb : int;
@@ -64,9 +68,19 @@ type row = {
   tc_hit_pct : float;  (** Trace-cache hit rate; 0 when no trace cache. *)
 }
 
-val simulate : ?config:sim_config -> Pipeline.t -> row list
+val simulate :
+  ?metrics:Stc_obs.Registry.t ->
+  ?progress:Stc_obs.Progress.t ->
+  ?config:sim_config ->
+  Pipeline.t ->
+  row list
 (** Run every configuration of Tables 3 and 4 once over the Test trace
-    (each row is one trace-driven simulation). *)
+    (each row is one trace-driven simulation). With [?metrics], the whole
+    grid runs inside a [simulate-grid] span (layout construction in child
+    spans), the fetch engine accumulates its [engine.*] counters, and
+    every simulation emits one [table34.cell] event carrying the row plus
+    the cell's i-cache/trace-cache counters. [?progress] is stepped once
+    per cell. *)
 
 val print_table3 : row list -> unit
 
@@ -86,12 +100,14 @@ type ablation_row = {
 }
 
 val ablation :
+  ?metrics:Stc_obs.Registry.t ->
   ?cache_kb:int ->
   ?exec_thresholds:int list ->
   ?branch_thresholds:float list ->
   ?cfa_kbs:int list ->
   Pipeline.t ->
   ablation_row list
-(** Sweep the STC parameters (ops seeds) at one cache size. *)
+(** Sweep the STC parameters (ops seeds) at one cache size. With
+    [?metrics], each sweep point emits one [ablation.cell] event. *)
 
 val print_ablation : ablation_row list -> unit

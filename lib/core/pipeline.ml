@@ -47,24 +47,59 @@ type t = {
   profile : Profile.t;
 }
 
-let run ?(config = default_config) () =
-  let kernel = Kernel.build ~config:config.kernel () in
-  let data = Stc_dbdata.Datagen.generate ~seed:config.data_seed ~sf:config.sf () in
-  let db_btree = Database.load ~frames:config.frames data ~kind:Database.Btree_db in
-  let db_hash = Database.load ~frames:config.frames data ~kind:Database.Hash_db in
+let run ?metrics ?(progress = false) ?(config = default_config) () =
+  let span name f =
+    match metrics with
+    | Some reg -> Stc_obs.Registry.span reg name f
+    | None -> f ()
+  in
+  let reporter label =
+    if progress then Some (Stc_obs.Progress.create ~label ()) else None
+  in
+  let kernel = span "kernel-build" (fun () -> Kernel.build ~config:config.kernel ()) in
+  let data =
+    span "datagen" (fun () ->
+        Stc_dbdata.Datagen.generate ~seed:config.data_seed ~sf:config.sf ())
+  in
+  let db_btree =
+    span "db-load" (fun () ->
+        Database.load ~frames:config.frames data ~kind:Database.Btree_db)
+  in
+  let db_hash =
+    span "db-load" (fun () ->
+        Database.load ~frames:config.frames data ~kind:Database.Hash_db)
+  in
   let training =
-    Stc_workload.Driver.record ~kernel ~walker_seed:config.walker_seed
-      ~dbs:[ ("btree", db_btree) ]
-      ~queries:Stc_workload.Queries.training_set
+    span "record-training" (fun () ->
+        Stc_workload.Driver.record ?metrics ~prefix:"training."
+          ?progress:(reporter "record-training") ~kernel
+          ~walker_seed:config.walker_seed
+          ~dbs:[ ("btree", db_btree) ]
+          ~queries:Stc_workload.Queries.training_set ())
   in
   let test =
-    Stc_workload.Driver.record ~kernel
-      ~walker_seed:(Int64.add config.walker_seed 1L)
-      ~dbs:[ ("btree", db_btree); ("hash", db_hash) ]
-      ~queries:Stc_workload.Queries.test_set
+    span "record-test" (fun () ->
+        Stc_workload.Driver.record ?metrics ~prefix:"test."
+          ?progress:(reporter "record-test") ~kernel
+          ~walker_seed:(Int64.add config.walker_seed 1L)
+          ~dbs:[ ("btree", db_btree); ("hash", db_hash) ]
+          ~queries:Stc_workload.Queries.test_set ())
   in
   let profile = Profile.create kernel.Kernel.program in
-  Recorder.replay training (Profile.sink profile);
+  span "build-profile" (fun () ->
+      Recorder.replay training (Profile.sink profile));
+  (match metrics with
+  | Some reg ->
+    let module Reg = Stc_obs.Registry in
+    Stc_obs.Metric.Gauge.set (Reg.gauge reg "pipeline.sf") config.sf;
+    Stc_obs.Metric.Gauge.set
+      (Reg.gauge reg "pipeline.frames")
+      (float_of_int config.frames);
+    let sc = Stc_cfg.Program.static_counts kernel.Kernel.program in
+    Stc_obs.Metric.Gauge.set
+      (Reg.gauge reg "pipeline.static_blocks")
+      (float_of_int sc.Stc_cfg.Program.n_blocks)
+  | None -> ());
   {
     config;
     kernel;

@@ -33,7 +33,13 @@ type t = {
   profile : Stc_profile.Profile.t;  (** Built from the Training trace. *)
 }
 
-val run : ?config:config -> unit -> t
+val run :
+  ?metrics:Stc_obs.Registry.t -> ?progress:bool -> ?config:config -> unit -> t
+(** Build everything. With [?metrics], each phase (kernel build, data
+    generation, database load, trace recording, profile build) runs inside
+    a timing span, and the walker/recorder counters are registered under
+    [training.*] / [test.*]. With [progress:true], trace recording reports
+    rate on stderr. *)
 
 val replay_test : t -> (int -> unit) -> unit
 

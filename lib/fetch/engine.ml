@@ -29,7 +29,24 @@ let miss_rate_pct r =
   if r.instrs = 0 then 0.0
   else 100.0 *. float_of_int r.icache_misses /. float_of_int r.instrs
 
-let run ?icache ?trace_cache ?prediction config view =
+let publish reg r =
+  let module Reg = Stc_obs.Registry in
+  let module C = Stc_obs.Metric.Counter in
+  let add name v = C.add (Reg.counter reg ("engine." ^ name)) v in
+  add "instrs" r.instrs;
+  add "cycles" r.cycles;
+  add "fetch_cycles" r.fetch_cycles;
+  add "seq_cycles" r.seq_cycles;
+  add "tc_cycles" r.tc_cycles;
+  add "icache_accesses" r.icache_accesses;
+  add "icache_misses" r.icache_misses;
+  add "tc_lookups" r.tc_lookups;
+  add "tc_hits" r.tc_hits;
+  add "cond_branches" r.cond_branches;
+  add "mispredictions" r.mispredictions;
+  C.incr (Reg.counter reg "engine.runs")
+
+let run ?icache ?trace_cache ?prediction ?metrics config view =
   let len = View.length view in
   let line = config.line_bytes in
   let instr_bytes = Stc_cfg.Block.instr_bytes in
@@ -126,28 +143,35 @@ let run ?icache ?trace_cache ?prediction config view =
   let icache_accesses, icache_misses =
     match icache with
     | None -> (0, 0)
-    | Some c -> (Icache.accesses c, Icache.misses c)
+    | Some c ->
+      (* one snapshot, not two separate reads *)
+      let s = Icache.stats c in
+      (s.Icache.s_accesses, s.Icache.s_misses)
   in
   let tc_lookups, tc_hits =
     match trace_cache with
     | None -> (0, 0)
     | Some tc -> (Tracecache.lookups tc, Tracecache.hits tc)
   in
-  {
-    instrs = !instrs;
-    cycles = !cycles + !penalties;
-    fetch_cycles = !cycles;
-    seq_cycles = !seq_cycles;
-    tc_cycles = !tc_cycles;
-    icache_accesses;
-    icache_misses;
-    tc_lookups;
-    tc_hits;
-    taken_branches = View.taken_branches view;
-    instrs_between_taken = View.instrs_between_taken view;
-    cond_branches = !cond_branches;
-    mispredictions =
-      (match prediction with
-      | Some { pred; _ } -> Predictor.mispredictions pred
-      | None -> 0);
-  }
+  let r =
+    {
+      instrs = !instrs;
+      cycles = !cycles + !penalties;
+      fetch_cycles = !cycles;
+      seq_cycles = !seq_cycles;
+      tc_cycles = !tc_cycles;
+      icache_accesses;
+      icache_misses;
+      tc_lookups;
+      tc_hits;
+      taken_branches = View.taken_branches view;
+      instrs_between_taken = View.instrs_between_taken view;
+      cond_branches = !cond_branches;
+      mispredictions =
+        (match prediction with
+        | Some { pred; _ } -> Predictor.mispredictions pred
+        | None -> 0);
+    }
+  in
+  (match metrics with Some reg -> publish reg r | None -> ());
+  r

@@ -52,6 +52,7 @@ val run :
   ?icache:Stc_cachesim.Icache.t ->
   ?trace_cache:Tracecache.t ->
   ?prediction:prediction ->
+  ?metrics:Stc_obs.Registry.t ->
   config ->
   View.t ->
   result
@@ -60,4 +61,6 @@ val run :
     branch prediction is perfect, as in the paper; with it, every
     mispredicted conditional-branch direction costs
     [redirect_penalty] cycles. The caches' state and statistics are
-    updated in place (pass fresh ones per experiment). *)
+    updated in place (pass fresh ones per experiment). With [?metrics],
+    the run's result is accumulated into the registry's [engine.*]
+    counters (totals across every run sharing the registry). *)

@@ -5,12 +5,14 @@ type entry = {
   e_outcomes : int;
 }
 
+module Counter = Stc_obs.Metric.Counter
+
 type t = {
   entries : entry option array;
   width : int;
   max_branches : int;
-  mutable lookups : int;
-  mutable hits : int;
+  lookups : Counter.t;
+  hits : Counter.t;
 }
 
 type trace_info = {
@@ -27,8 +29,8 @@ let create ?(entries = 256) ?(width = 16) ?(max_branches = 3) () =
     entries = Array.make entries None;
     width;
     max_branches;
-    lookups = 0;
-    hits = 0;
+    lookups = Counter.make "lookups";
+    hits = Counter.make "hits";
   }
 
 let build_trace_limits view (pos : View.pos) ~width ~max_branches =
@@ -75,7 +77,7 @@ let build_trace view pos =
 let index t addr = (addr lsr 2) land (Array.length t.entries - 1)
 
 let lookup t view pos =
-  t.lookups <- t.lookups + 1;
+  Counter.incr t.lookups;
   let a = View.addr view pos in
   match t.entries.(index t a) with
   | Some e when e.start_addr = a ->
@@ -87,7 +89,7 @@ let lookup t view pos =
       && actual.n_branches = e.e_branches
       && actual.outcomes = e.e_outcomes
     then begin
-      t.hits <- t.hits + 1;
+      Counter.incr t.hits;
       Some actual
     end
     else None
@@ -108,10 +110,14 @@ let fill t view pos =
           e_outcomes = info.outcomes;
         }
 
-let lookups t = t.lookups
+let lookups t = Counter.value t.lookups
 
-let hits t = t.hits
+let hits t = Counter.value t.hits
+
+let attach_metrics t reg ~prefix =
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "tc.") reg t.lookups;
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "tc.") reg t.hits
 
 let reset_stats t =
-  t.lookups <- 0;
-  t.hits <- 0
+  Counter.reset t.lookups;
+  Counter.reset t.hits

@@ -35,4 +35,8 @@ val lookups : t -> int
 
 val hits : t -> int
 
+val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
+(** Register the [lookups]/[hits] counters with a metrics registry under
+    [prefix ^ "tc."]. *)
+
 val reset_stats : t -> unit

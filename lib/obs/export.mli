@@ -1,0 +1,29 @@
+(** Serializing a finished {!Registry} — to JSONL for machine consumption
+    (the [BENCH_*.json]-style perf-trajectory artifacts, diffed by
+    [tools/metrics_diff]) and to an aligned text summary for humans.
+
+    JSONL schema, one object per line, in this order:
+    - [{"type":"meta","schema":1}]
+    - [{"type":"counter","name":N,"value":I}] — sorted by name
+    - [{"type":"gauge","name":N,"value":F}] — sorted by name
+    - [{"type":"histo","name":N,"total":I,"buckets":[[lo,hi,w],...]}]
+    - [{"type":"span","path":P,"depth":D,"calls":I,"seconds":F}] —
+      pre-order; [seconds] is wall-clock and thus non-deterministic
+      (comparison tools must ignore it)
+    - [{"type":"event","kind":K, ...fields]] — insertion order *)
+
+val schema_version : int
+
+val to_jsonl : Registry.t -> string
+(** The whole registry as a JSONL document (trailing newline included). *)
+
+val write_file : Registry.t -> string -> unit
+(** [write_file t path] writes {!to_jsonl} to [path]. *)
+
+val summary : Registry.t -> string
+(** Aligned-text rendering: counters/gauges tables, histogram shapes, the
+    span tree with per-phase wall-clock, and per event kind the count plus
+    median/geomean of each numeric field ({!Stc_util.Stats.median},
+    {!Stc_util.Stats.geomean}). *)
+
+val print_summary : Registry.t -> unit

@@ -1,0 +1,31 @@
+(** A minimal JSON value type with a serializer and a parser, covering
+    exactly the subset the metrics exporter produces (objects, arrays,
+    strings, 63-bit ints, doubles, booleans, null). Kept here so that the
+    exporter, [tools/metrics_diff] and the tests need no external JSON
+    dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Floats are printed with the shortest
+    ["%g"] precision that round-trips; non-finite floats become [null]. *)
+
+val of_string : string -> t
+(** Parse one JSON value. Raises [Failure] with a position message on
+    malformed input or trailing garbage. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] when absent or when the value is not an object. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both yield a float. *)
+
+val lines : string -> t list
+(** Parse a JSONL document: one value per non-empty line. *)

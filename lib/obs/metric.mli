@@ -1,0 +1,58 @@
+(** Metric handles: named counters, gauges, and log2-bucketed histograms.
+
+    A handle is a free-standing mutable cell, cheap enough to sit on the
+    simulator's innermost loops: updating one is a single unboxed field
+    write, with no allocation and no table lookup. Modules own their
+    handles directly (pre-interned at construction time) and optionally
+    attach them to a {!Registry} for export. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** A fresh counter starting at 0. The name is the default export name
+      (a registry may prefix it, see {!Registry.attach_counter}). *)
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+
+  val value : t -> int
+
+  val reset : t -> unit
+
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val make : string -> t
+  (** A fresh gauge starting at 0. *)
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+  (** A named wrapper over {!Stc_util.Histo}: geometric buckets
+      [[0,1) [1,2) [2,4) ...], weighted adds. *)
+
+  val make : ?max_value:int -> string -> t
+
+  val add : t -> ?weight:int -> int -> unit
+
+  val total : t -> int
+
+  val mass_below : t -> int -> float
+
+  val buckets : t -> (int * int * int) list
+  (** Non-empty [(lo, hi, weight)] buckets, ascending; see
+      {!Stc_util.Histo.buckets}. *)
+
+  val name : t -> string
+end

@@ -1,0 +1,80 @@
+(** The metrics registry: the single object a run threads through the
+    pipeline to collect everything observable about it.
+
+    A registry holds
+    - named metric handles ({!Metric.Counter}, {!Metric.Gauge},
+      {!Metric.Histogram}), either interned here ({!counter} etc.) or
+      created by a module and attached under a prefix ({!attach_counter});
+    - a tree of hierarchical timing {e spans} ({!span}) accumulating
+      wall-clock seconds and call counts per phase;
+    - an ordered log of structured {e events} ({!event}) — one record per
+      experiment cell, exported verbatim to JSONL.
+
+    All names are flat strings; dotted segments ([icache.misses],
+    [training.walker.blocks]) are a convention, not a structure. Metric
+    names must be unique within a registry. *)
+
+type t
+
+type clock = unit -> float
+(** Seconds, from an arbitrary origin. Only differences are used. *)
+
+val create : ?clock:clock -> unit -> t
+(** The default clock is [Unix.gettimeofday]. Tests substitute a fake
+    clock to make span timings deterministic. *)
+
+(** {2 Metrics} *)
+
+val counter : t -> string -> Metric.Counter.t
+(** Intern: returns the existing handle when [name] is already a counter
+    of this registry, otherwise registers a fresh one. Raises
+    [Invalid_argument] when the name is taken by another metric kind. *)
+
+val gauge : t -> string -> Metric.Gauge.t
+
+val histogram : ?max_value:int -> t -> string -> Metric.Histogram.t
+
+val attach_counter : ?prefix:string -> t -> Metric.Counter.t -> unit
+(** Register an existing handle for export under [prefix ^ name].
+    Raises [Invalid_argument] on a duplicate export name. *)
+
+val attach_gauge : ?prefix:string -> t -> Metric.Gauge.t -> unit
+
+val attach_histogram : ?prefix:string -> t -> Metric.Histogram.t -> unit
+
+(** {2 Spans} *)
+
+module Span : sig
+  type info = {
+    path : string;  (** Slash-joined names from the root, e.g. [a/b]. *)
+    depth : int;
+    calls : int;
+    seconds : float;  (** Cumulative wall-clock over all calls. *)
+  }
+end
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] inside a child span [name] of the current
+    span, accumulating its wall-clock time and call count. Nested calls
+    build a tree; repeated calls with the same name at the same nesting
+    level accumulate into one node. Exception-safe. *)
+
+(** {2 Events} *)
+
+val event : t -> kind:string -> (string * Json.t) list -> unit
+(** Append a structured record; exported in insertion order. *)
+
+(** {2 Snapshots} *)
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+val gauges : t -> (string * float) list
+
+val histograms : t -> (string * Metric.Histogram.t) list
+
+val spans : t -> Span.info list
+(** Pre-order walk of the span tree (children in first-call order). *)
+
+val events : t -> (string * (string * Json.t) list) list
+(** [(kind, fields)] in insertion order. *)

@@ -1,14 +1,34 @@
 module Vec = Stc_util.Vec
+module Counter = Stc_obs.Metric.Counter
 
-type t = { trace : Vec.t; mutable marks_rev : (string * int) list }
+type t = {
+  trace : Vec.t;
+  mutable marks_rev : (string * int) list;
+  blocks : Counter.t;
+  n_marks : Counter.t;
+}
 
-let create () = { trace = Vec.create ~capacity:1024 (); marks_rev = [] }
+let create () =
+  {
+    trace = Vec.create ~capacity:1024 ();
+    marks_rev = [];
+    blocks = Counter.make "blocks";
+    n_marks = Counter.make "marks";
+  }
 
-let sink t bid = Vec.push t.trace bid
+let sink t bid =
+  Counter.incr t.blocks;
+  Vec.push t.trace bid
 
-let mark t name = t.marks_rev <- (name, Vec.length t.trace) :: t.marks_rev
+let mark t name =
+  Counter.incr t.n_marks;
+  t.marks_rev <- (name, Vec.length t.trace) :: t.marks_rev
 
 let length t = Vec.length t.trace
+
+let attach_metrics t reg ~prefix =
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "trace.") reg t.blocks;
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "trace.") reg t.n_marks
 
 let replay t f = Vec.iter f t.trace
 

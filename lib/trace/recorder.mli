@@ -17,6 +17,10 @@ val mark : t -> string -> unit
 val length : t -> int
 (** Number of recorded block ids. *)
 
+val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
+(** Register the recorded-blocks/marks counters with a metrics registry
+    under [prefix ^ "trace."]. *)
+
 val replay : t -> (int -> unit) -> unit
 (** Feed every recorded block id, in order, to the consumer. *)
 

@@ -1,4 +1,5 @@
 module Program = Stc_cfg.Program
+module Counter = Stc_obs.Metric.Counter
 
 exception Desync of string
 
@@ -12,8 +13,8 @@ type t = {
   rng : Stc_util.Rng.t;
   mutable sink : int -> unit;
   mutable stack : frame list;
-  mutable n_blocks : int;
-  mutable n_instrs : int;
+  n_blocks : Counter.t;
+  n_instrs : Counter.t;
 }
 
 let create ~program ~code ~seed ~sink =
@@ -29,15 +30,19 @@ let create ~program ~code ~seed ~sink =
     rng = Stc_util.Rng.create seed;
     sink;
     stack = [];
-    n_blocks = 0;
-    n_instrs = 0;
+    n_blocks = Counter.make "blocks";
+    n_instrs = Counter.make "instrs";
   }
 
 let set_sink t sink = t.sink <- sink
 
-let blocks_emitted t = t.n_blocks
+let blocks_emitted t = Counter.value t.n_blocks
 
-let instrs_emitted t = t.n_instrs
+let instrs_emitted t = Counter.value t.n_instrs
+
+let attach_metrics t reg ~prefix =
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "walker.") reg t.n_blocks;
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "walker.") reg t.n_instrs
 
 let pid_of_name t name = Hashtbl.find t.names name
 
@@ -59,8 +64,8 @@ let desync t fmt =
     fmt
 
 let emit t bid =
-  t.n_blocks <- t.n_blocks + 1;
-  t.n_instrs <- t.n_instrs + Array.unsafe_get t.sizes bid;
+  Counter.incr t.n_blocks;
+  Counter.add t.n_instrs (Array.unsafe_get t.sizes bid);
   t.sink bid
 
 let code_of t pid =

@@ -30,6 +30,10 @@ val blocks_emitted : t -> int
 
 val instrs_emitted : t -> int
 
+val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
+(** Register the emitted-blocks/instructions counters with a metrics
+    registry under [prefix ^ "walker."]. *)
+
 val pid_of_name : t -> string -> int
 (** Procedure id by name. Raises [Not_found]. *)
 

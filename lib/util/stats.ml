@@ -23,6 +23,16 @@ let percentile xs p =
   let frac = pos -. floor pos in
   (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
 
+let median xs = percentile xs 0.5
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.geomean: empty array";
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive value")
+    xs;
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int n)
+
 let sorted_desc counts =
   let sorted = Array.copy counts in
   Array.sort (fun a b -> compare b a) sorted;

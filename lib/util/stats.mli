@@ -12,6 +12,15 @@ val percentile : float array -> float -> float
     of an array that is {e not} required to be sorted (a sorted copy is
     taken). Raises [Invalid_argument] on the empty array. *)
 
+val median : float array -> float
+(** [median xs] is [percentile xs 0.5]. Raises [Invalid_argument] on the
+    empty array. *)
+
+val geomean : float array -> float
+(** Geometric mean of a strictly positive sample (the natural mean for
+    ratios such as fetch bandwidth). Raises [Invalid_argument] on the
+    empty array or on any nonpositive element. *)
+
 val cumulative_share : int array -> float array
 (** [cumulative_share counts] sorts [counts] descending and returns the
     running share of the total: element [i] is the fraction of the sum

@@ -23,14 +23,27 @@ let run_traced ~kernel ~walker ?(on_boundary = fun _ -> ()) jobs =
       ignore (Stc_db.Exec.run job.db plan))
     jobs
 
-let record ~kernel ~walker_seed ~dbs ~queries =
+let record ?metrics ?(prefix = "") ?progress ~kernel ~walker_seed ~dbs
+    ~queries () =
   (* start from a cold, reproducible buffer pool *)
   List.iter (fun (_, db) -> Stc_db.Bufmgr.reset (Stc_db.Database.bufmgr db)) dbs;
   let recorder = Recorder.create () in
-  let walker =
-    Kernel.make_walker kernel ~seed:walker_seed ~sink:(Recorder.sink recorder)
+  let sink =
+    match progress with
+    | None -> Recorder.sink recorder
+    | Some p ->
+      fun bid ->
+        Recorder.sink recorder bid;
+        Stc_obs.Progress.step p
   in
+  let walker = Kernel.make_walker kernel ~seed:walker_seed ~sink in
+  (match metrics with
+  | Some reg ->
+    Walker.attach_metrics walker reg ~prefix;
+    Recorder.attach_metrics recorder reg ~prefix
+  | None -> ());
   run_traced ~kernel ~walker
     ~on_boundary:(fun j -> Recorder.mark recorder (job_name j))
     (jobs ~dbs ~queries);
+  (match progress with Some p -> Stc_obs.Progress.finish p | None -> ());
   recorder

@@ -2,6 +2,7 @@ let () =
   Alcotest.run "stc_repro"
     [
       ("util", Test_util.suite);
+      ("obs", Test_obs.suite);
       ("cfg", Test_cfg.suite);
       ("trace", Test_trace.suite);
       ("profile", Test_profile.suite);

@@ -71,7 +71,7 @@ let test_traced_run_legal () =
   let recorder =
     Stc_workload.Driver.record ~kernel ~walker_seed:11L
       ~dbs:[ ("btree", db) ]
-      ~queries:[ 3; 6 ]
+      ~queries:[ 3; 6 ] ()
   in
   Alcotest.(check bool) "trace nonempty" true (Recorder.length recorder > 1000);
   match
@@ -96,7 +96,7 @@ let test_trace_deterministic () =
   let record () =
     Stc_workload.Driver.record ~kernel ~walker_seed:42L
       ~dbs:[ ("btree", db) ]
-      ~queries:[ 6; 12 ]
+      ~queries:[ 6; 12 ] ()
   in
   let r1 = record () and r2 = record () in
   Alcotest.(check int64) "same trace" (Recorder.hash r1) (Recorder.hash r2)
@@ -114,7 +114,7 @@ let test_all_queries_traced_both_dbs () =
   let dbs = [ ("btree", Lazy.force db_btree); ("hash", Lazy.force db_hash) ] in
   let recorder =
     Stc_workload.Driver.record ~kernel ~walker_seed:3L ~dbs
-      ~queries:Stc_workload.Queries.all
+      ~queries:Stc_workload.Queries.all ()
   in
   Alcotest.(check int) "all jobs marked" 34
     (List.length (Recorder.marks recorder));

@@ -22,12 +22,12 @@ let () =
   (* training *)
   let t0 = Unix.gettimeofday () in
   let tr = Stc_workload.Driver.record ~kernel ~walker_seed:1L
-      ~dbs:[("btree", db_b)] ~queries:Stc_workload.Queries.training_set in
+      ~dbs:[("btree", db_b)] ~queries:Stc_workload.Queries.training_set () in
   let t1 = Unix.gettimeofday () in
   Printf.printf "training trace: %.2fs blocks=%d\n%!" (t1 -. t0) (Stc_trace.Recorder.length tr);
   let t0 = Unix.gettimeofday () in
   let te = Stc_workload.Driver.record ~kernel ~walker_seed:2L
-      ~dbs:[("btree", db_b); ("hash", db_h)] ~queries:Stc_workload.Queries.test_set in
+      ~dbs:[("btree", db_b); ("hash", db_h)] ~queries:Stc_workload.Queries.test_set () in
   let t1 = Unix.gettimeofday () in
   Printf.printf "test trace: %.2fs blocks=%d\n%!" (t1 -. t0) (Stc_trace.Recorder.length te);
   (* profile the training set *)
