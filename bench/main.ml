@@ -10,6 +10,10 @@
        | ablation | micro      — run a single part
      --quick                   — reduced kernel and scale factor
      --scale SF                — override the TPC-D scale factor
+     --seed N                  — master seed (Pipeline.seeded derivation)
+     --jobs N                  — domains for the simulation grid; with
+                                 N > 1 the grid is also timed serially
+                                 and the speedup reported
      --metrics FILE            — export run metrics as JSONL to FILE
      --progress                — rate/ETA progress lines on stderr *)
 
@@ -22,6 +26,8 @@ module P = Stc_profile
 let parse_args () =
   let quick = ref false
   and scale = ref None
+  and seed = ref None
+  and jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
   and metrics = ref None
   and progress = ref false
   and parts = ref [] in
@@ -32,6 +38,12 @@ let parse_args () =
       go rest
     | "--scale" :: v :: rest ->
       scale := Some (float_of_string v);
+      go rest
+    | "--seed" :: v :: rest ->
+      seed := Some (int_of_string v);
+      go rest
+    | "--jobs" :: v :: rest ->
+      jobs := int_of_string v;
       go rest
     | "--metrics" :: v :: rest ->
       metrics := Some v;
@@ -44,9 +56,9 @@ let parse_args () =
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !scale, !metrics, !progress, List.rev !parts)
+  (!quick, !scale, !seed, !jobs, !metrics, !progress, List.rev !parts)
 
-let quick, scale, metrics_file, progress, parts = parse_args ()
+let quick, scale, seed, jobs, metrics_file, progress, parts = parse_args ()
 
 (* Fail on an unwritable --metrics path before the run, not after it. *)
 let () =
@@ -62,6 +74,15 @@ let wants part = parts = [] || List.mem part parts
 
 let registry = Stc_obs.Registry.create ()
 
+module Run = Stc_core.Run
+
+let ctx =
+  let c =
+    Run.default |> Run.with_metrics registry |> Run.with_progress progress
+    |> Run.with_jobs jobs
+  in
+  match seed with Some s -> Run.with_seed s c | None -> c
+
 let pipeline =
   lazy
     (let config =
@@ -73,7 +94,7 @@ let pipeline =
      Printf.printf "[setup] building kernel and traces (sf=%.4g)...\n%!"
        config.Pipeline.sf;
      let t0 = Unix.gettimeofday () in
-     let pl = Pipeline.run ~metrics:registry ~progress ~config () in
+     let pl = Pipeline.run ~ctx ~config () in
      Printf.printf "[setup] done in %.1fs (test trace: %d blocks)\n\n%!"
        (Unix.gettimeofday () -. t0)
        (Stc_trace.Recorder.length pl.Pipeline.test);
@@ -130,10 +151,33 @@ let run_tables () =
   end;
   if wants "table3" || wants "table4" then begin
     section "Tables 3 and 4 (trace-driven simulation)";
-    let t0 = Unix.gettimeofday () in
-    let rows = E.simulate ~metrics:registry (pl ()) in
-    Printf.printf "(%d simulations in %.1fs)\n\n%!" (List.length rows)
-      (Unix.gettimeofday () -. t0);
+    let p = pl () in
+    let rows =
+      if ctx.Run.jobs <= 1 then begin
+        let t0 = Unix.gettimeofday () in
+        let rows = E.simulate ~ctx p in
+        Printf.printf "(%d simulations in %.1fs, 1 job)\n\n%!"
+          (List.length rows)
+          (Unix.gettimeofday () -. t0);
+        rows
+      end
+      else begin
+        (* serial baseline without metrics, then the recorded parallel run:
+           same cells, so the wall-clock ratio is the pool speedup *)
+        let t0 = Unix.gettimeofday () in
+        let baseline = E.simulate ~ctx:{ ctx with Run.metrics = None; jobs = 1 } p in
+        let t_serial = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let rows = E.simulate ~ctx p in
+        let t_par = Unix.gettimeofday () -. t1 in
+        Printf.printf
+          "(%d simulations: %.1fs serial, %.1fs on %d jobs -> %.2fx speedup; \
+           rows %s)\n\n%!"
+          (List.length rows) t_serial t_par ctx.Run.jobs (t_serial /. t_par)
+          (if rows = baseline then "identical" else "DIFFER (BUG)");
+        rows
+      end
+    in
     if wants "table3" then begin
       E.print_table3 rows;
       print_newline ()
@@ -147,25 +191,28 @@ let run_tables () =
   end;
   if wants "ablation" && parts <> [] then begin
     section "Ablation";
-    E.print_ablation (E.ablation ~metrics:registry (pl ()));
+    E.print_ablation (E.ablation ~ctx (pl ()));
     print_newline ()
   end;
   if wants "extensions" then begin
     section "Extensions (Section 8 future work)";
     let p = pl () in
-    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining p);
+    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining ~ctx p);
     print_newline ();
-    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp p);
+    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp ~ctx p);
     print_newline ();
-    Stc_core.Extensions.print_prediction (Stc_core.Extensions.prediction p);
+    Stc_core.Extensions.print_prediction
+      (Stc_core.Extensions.prediction ~ctx p);
     print_newline ();
-    Stc_core.Extensions.print_tuning p;
+    Stc_core.Extensions.print_tuning ~ctx p;
     print_newline ();
-    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query p);
+    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query ~ctx p);
     print_newline ();
-    Stc_core.Extensions.print_fetch_units (Stc_core.Extensions.fetch_units p);
+    Stc_core.Extensions.print_fetch_units
+      (Stc_core.Extensions.fetch_units ~ctx p);
     print_newline ();
-    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity p);
+    Stc_core.Extensions.print_associativity
+      (Stc_core.Extensions.associativity ~ctx p);
     print_newline ()
   end
 
@@ -214,19 +261,14 @@ let micro () =
       Test.make ~name:"table3/icache-sim"
         (Staged.stage (fun () ->
              let c = Stc_cachesim.Icache.create ~size_bytes:16384 () in
-             let r =
-               F.Engine.run ~icache:c F.Engine.default_config view
-             in
+             let r = F.Engine.run ~icache:c view in
              ignore r.F.Engine.icache_misses));
       (* Table 4: fetch + trace cache simulation throughput *)
       Test.make ~name:"table4/fetch-tc-sim"
         (Staged.stage (fun () ->
              let c = Stc_cachesim.Icache.create ~size_bytes:16384 () in
              let tc = F.Tracecache.create () in
-             let r =
-               F.Engine.run ~icache:c ~trace_cache:tc F.Engine.default_config
-                 view
-             in
+             let r = F.Engine.run ~icache:c ~trace_cache:tc view in
              ignore r.F.Engine.tc_hits));
     ]
   in

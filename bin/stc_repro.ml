@@ -3,23 +3,24 @@
 open Cmdliner
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
+module Run = Stc_core.Run
 module Obs = Stc_obs
 
-let pipeline_config quick sf seed frames =
+let pipeline_config quick sf frames =
   let base = if quick then Pipeline.quick_config else Pipeline.default_config in
   let base = match sf with Some sf -> { base with Pipeline.sf } | None -> base in
-  let base =
-    match seed with
-    | Some s ->
-      {
-        base with
-        Pipeline.data_seed = Int64.of_int s;
-        walker_seed = Int64.of_int (s + 17);
-        kernel = { base.Pipeline.kernel with Stc_synth.Kernel.seed = Int64.of_int (s + 34) };
-      }
-    | None -> base
-  in
   { base with Pipeline.frames }
+
+(* --seed is applied by Pipeline.run through Run.ctx (Pipeline.seeded);
+   --jobs parallelizes the simulation grids without changing any output. *)
+let make_ctx reg progress seed jobs =
+  let ctx =
+    Run.default |> Run.with_metrics reg |> Run.with_progress progress
+    |> Run.with_jobs jobs
+  in
+  match seed with Some s -> Run.with_seed s ctx | None -> ctx
+
+let default_jobs = max 1 (Domain.recommended_domain_count () - 1)
 
 let sim_config exec_threshold branch_threshold =
   {
@@ -42,6 +43,15 @@ let seed_arg =
     value
     & opt (some int) None
     & info [ "seed" ] ~docv:"N" ~doc:"Master seed for kernel, data and walker.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int default_jobs
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Run simulation cells on $(docv) OCaml domains. 1 selects the \
+           exact serial path; any value produces byte-identical metric \
+           exports. Defaults to the recommended domain count minus one.")
 
 let frames_arg =
   Arg.(
@@ -86,13 +96,13 @@ let check_metrics_path = function
 (* Every command carries one registry; spans and counters are collected
    unconditionally (the cost is nil next to the simulation) and exported
    only when --metrics was given. *)
-let setup ~metrics:reg ~progress quick sf seed frames =
-  let config = pipeline_config quick sf seed frames in
+let setup ~ctx quick sf frames =
+  let config = pipeline_config quick sf frames in
   Printf.printf
     "Building kernel, loading TPC-D data (sf=%.4g), tracing Training and Test sets...\n%!"
     config.Pipeline.sf;
   let t0 = Unix.gettimeofday () in
-  let pl = Pipeline.run ~metrics:reg ~progress ~config () in
+  let pl = Pipeline.run ~ctx ~config () in
   Printf.printf "Setup done in %.1fs: test trace has %d basic blocks.\n\n%!"
     (Unix.gettimeofday () -. t0)
     (Stc_trace.Recorder.length pl.Pipeline.test);
@@ -108,10 +118,11 @@ let finish_metrics reg metrics_file =
       path
 
 let characterize_cmd =
-  let run quick sf seed frames metrics progress =
+  let run quick sf seed frames jobs metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let pl = setup ~metrics:reg ~progress quick sf seed frames in
+    let ctx = make_ctx reg progress seed jobs in
+    let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
     E.print_figure2 pl;
@@ -124,24 +135,18 @@ let characterize_cmd =
   Cmd.v
     (Cmd.info "characterize" ~doc:"Section 4: Table 1, Figure 2, reuse, Table 2.")
     Term.(
-      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
-      $ progress_arg)
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ metrics_arg $ progress_arg)
 
-let simulate_run quick sf seed frames exec branch metrics progress =
+let simulate_run quick sf seed frames jobs exec branch metrics progress =
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
-  let pl = setup ~metrics:reg ~progress quick sf seed frames in
-  Printf.printf "Simulating the full Table 3 / Table 4 grid...\n%!";
+  let ctx = make_ctx reg progress seed jobs in
+  let pl = setup ~ctx quick sf frames in
+  Printf.printf "Simulating the full Table 3 / Table 4 grid (%d jobs)...\n%!"
+    ctx.Run.jobs;
   let t0 = Unix.gettimeofday () in
-  let cells =
-    if progress then
-      Some (Obs.Progress.create ~interval:10 ~label:"simulate" ())
-    else None
-  in
-  let rows =
-    E.simulate ~metrics:reg ?progress:cells ~config:(sim_config exec branch) pl
-  in
-  (match cells with Some p -> Obs.Progress.finish p | None -> ());
+  let rows = E.simulate ~ctx ~config:(sim_config exec branch) pl in
   Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
     (Unix.gettimeofday () -. t0);
   E.print_table3 rows;
@@ -153,44 +158,49 @@ let simulate_run quick sf seed frames exec branch metrics progress =
 
 let simulate_term =
   Term.(
-    const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
-    $ branch_arg $ metrics_arg $ progress_arg)
+    const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+    $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames metrics progress =
+  let run quick sf seed frames jobs metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let pl = setup ~metrics:reg ~progress quick sf seed frames in
-    E.print_ablation (E.ablation ~metrics:reg pl);
+    let ctx = make_ctx reg progress seed jobs in
+    let pl = setup ~ctx quick sf frames in
+    E.print_ablation (E.ablation ~ctx pl);
     finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
     Term.(
-      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
-      $ progress_arg)
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ metrics_arg $ progress_arg)
 
 let extensions_cmd =
-  let run quick sf seed frames metrics progress =
+  let run quick sf seed frames jobs metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let pl = setup ~metrics:reg ~progress quick sf seed frames in
-    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining pl);
+    let ctx = make_ctx reg progress seed jobs in
+    let pl = setup ~ctx quick sf frames in
+    Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining ~ctx pl);
     print_newline ();
-    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp pl);
+    Stc_core.Extensions.print_oltp (Stc_core.Extensions.oltp ~ctx pl);
     print_newline ();
-    Stc_core.Extensions.print_prediction (Stc_core.Extensions.prediction pl);
+    Stc_core.Extensions.print_prediction
+      (Stc_core.Extensions.prediction ~ctx pl);
     print_newline ();
-    Stc_core.Extensions.print_tuning pl;
+    Stc_core.Extensions.print_tuning ~ctx pl;
     print_newline ();
-    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query pl);
+    Stc_core.Extensions.print_per_query (Stc_core.Extensions.per_query ~ctx pl);
     print_newline ();
-    Stc_core.Extensions.print_fetch_units (Stc_core.Extensions.fetch_units pl);
+    Stc_core.Extensions.print_fetch_units
+      (Stc_core.Extensions.fetch_units ~ctx pl);
     print_newline ();
-    Stc_core.Extensions.print_associativity (Stc_core.Extensions.associativity pl);
+    Stc_core.Extensions.print_associativity
+      (Stc_core.Extensions.associativity ~ctx pl);
     finish_metrics reg metrics
   in
   Cmd.v
@@ -198,14 +208,15 @@ let extensions_cmd =
        ~doc:
          "Section 8 future work: inlining, OLTP, branch prediction,           auto-tuning.")
     Term.(
-      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ metrics_arg
-      $ progress_arg)
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ metrics_arg $ progress_arg)
 
 let all_cmd =
-  let run quick sf seed frames exec branch metrics progress =
+  let run quick sf seed frames jobs exec branch metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let pl = setup ~metrics:reg ~progress quick sf seed frames in
+    let ctx = make_ctx reg progress seed jobs in
+    let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
     E.print_figure2 pl;
@@ -214,7 +225,7 @@ let all_cmd =
     print_newline ();
     E.print_table2 (E.table2 pl);
     print_newline ();
-    let rows = E.simulate ~metrics:reg ~config:(sim_config exec branch) pl in
+    let rows = E.simulate ~ctx ~config:(sim_config exec branch) pl in
     E.print_table3 rows;
     print_newline ();
     E.print_table4 rows;
@@ -225,8 +236,8 @@ let all_cmd =
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure.")
     Term.(
-      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ exec_arg
-      $ branch_arg $ metrics_arg $ progress_arg)
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
 
 let () =
   let info =

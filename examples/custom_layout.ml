@@ -122,7 +122,7 @@ let () =
     (fun layout ->
       let view = F.View.create program layout recorder in
       let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
-      let r = F.Engine.run ~icache F.Engine.default_config view in
+      let r = F.Engine.run ~icache view in
       Printf.printf "%-6s %13.2f %8.2f %10.1f\n" layout.L.Layout.name
         (F.Engine.miss_rate_pct r) (F.Engine.bandwidth r)
         r.F.Engine.instrs_between_taken)

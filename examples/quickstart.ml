@@ -33,7 +33,7 @@ let () =
     (fun layout ->
       let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
       let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
-      let r = F.Engine.run ~icache F.Engine.default_config view in
+      let r = F.Engine.run ~icache view in
       Printf.printf
         "%-5s layout: %5.2f misses per 100 instructions, %4.2f instructions \
          per cycle, %5.1f instructions between taken branches\n"

@@ -25,7 +25,7 @@ let () =
     let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
     let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
     let trace_cache = if tc then Some (F.Tracecache.create ()) else None in
-    let r = F.Engine.run ~icache ?trace_cache F.Engine.default_config view in
+    let r = F.Engine.run ~icache ?trace_cache view in
     let hit_rate =
       if r.F.Engine.tc_lookups = 0 then 0.0
       else

@@ -151,7 +151,7 @@ let variant_name = function
 type row = {
   layout : string;
   cache_kb : int;
-  cfa_kb : int;
+  cfa_kb : int option;
   variant : variant;
   miss_pct : float;
   bandwidth : float;
@@ -160,11 +160,7 @@ type row = {
 }
 
 let engine_config (c : sim_config) =
-  {
-    F.Engine.max_branches = 3;
-    line_bytes = c.line_bytes;
-    miss_penalty = c.miss_penalty;
-  }
+  F.Engine.Config.make ~line_bytes:c.line_bytes ~miss_penalty:c.miss_penalty ()
 
 let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
   let open Stc_obs.Json in
@@ -184,7 +180,7 @@ let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
        ("layout", Str row.layout);
        ("variant", Str (variant_name row.variant));
        ("cache_kb", Int row.cache_kb);
-       ("cfa_kb", Int row.cfa_kb);
+       ("cfa_kb", (match row.cfa_kb with Some k -> Int k | None -> Null));
        ("instrs", Int r.F.Engine.instrs);
        ("cycles", Int r.F.Engine.cycles);
        ("miss_pct", Float row.miss_pct);
@@ -195,11 +191,25 @@ let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
      ]
     @ icache_fields)
 
-let run_one ?metrics ?(table = "table34") (c : sim_config) (pl : Pipeline.t)
-    layout variant ~cache_kb ~cfa_kb =
-  let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
+(* A planned simulation: everything one Table 3/4 (or ablation) cell needs,
+   closed over a layout built in the serial prefix.  Cells share the
+   pipeline's program/profile/trace read-only; the i-cache, trace cache and
+   fetch view are created per cell, so a cell can run on any domain. *)
+type cell = {
+  c_table : string;
+  c_config : sim_config;
+  c_layout : L.Layout.t;
+  c_variant : variant;
+  c_cache_kb : int;
+  c_cfa_kb : int option;
+}
+
+let exec_cell ~metrics (pl : Pipeline.t) cell =
+  let c = cell.c_config in
+  let cache_kb = cell.c_cache_kb in
+  let view = F.View.create pl.Pipeline.program cell.c_layout pl.Pipeline.test in
   let icache =
-    match variant with
+    match cell.c_variant with
     | Ideal | Tc_ideal -> None
     | Direct | Trace_cache ->
       Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
@@ -211,17 +221,18 @@ let run_one ?metrics ?(table = "table34") (c : sim_config) (pl : Pipeline.t)
            ~size_bytes:(cache_kb * 1024) ())
   in
   let trace_cache =
-    match variant with
+    match cell.c_variant with
     | Trace_cache | Tc_ideal -> Some (F.Tracecache.create ~entries:c.tc_entries ())
     | Direct | Two_way | Victim | Ideal -> None
   in
-  let r = F.Engine.run ?icache ?trace_cache ?metrics (engine_config c) view in
+  let ctx = Option.map (fun reg -> Run.(with_metrics reg default)) metrics in
+  let r = F.Engine.run ?ctx ~config:(engine_config c) ?icache ?trace_cache view in
   let row =
     {
-      layout = layout.L.Layout.name;
-      cache_kb = (match variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
-      cfa_kb;
-      variant;
+      layout = cell.c_layout.L.Layout.name;
+      cache_kb = (match cell.c_variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
+      cfa_kb = cell.c_cfa_kb;
+      variant = cell.c_variant;
       miss_pct = F.Engine.miss_rate_pct r;
       bandwidth = F.Engine.bandwidth r;
       instrs_between_taken = r.F.Engine.instrs_between_taken;
@@ -233,48 +244,100 @@ let run_one ?metrics ?(table = "table34") (c : sim_config) (pl : Pipeline.t)
     }
   in
   (match metrics with
-  | Some reg -> emit_cell reg ~table row r icache
+  | Some reg -> emit_cell reg ~table:cell.c_table row r icache
   | None -> ());
   row
+
+(* Run planned cells serially ([jobs <= 1]: the exact pre-pool code path,
+   writing straight into the caller's registry) or on a domain pool.  In
+   the parallel path each cell records into its own registry shard; shards
+   are merged into the main registry in input order after the join, so the
+   exported counters and [*.cell] event sequence are identical at any job
+   count. *)
+let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
+  let cells = Array.of_list cells in
+  let n = Array.length cells in
+  let reporter = Run.reporter ctx ~interval:10 ~total:n ~label () in
+  let step () =
+    (match reporter with Some p -> Stc_obs.Progress.step p | None -> ());
+    on_cell ()
+  in
+  let rows =
+    if ctx.Run.jobs <= 1 then
+      Array.map
+        (fun c ->
+          let r = exec_cell ~metrics:ctx.Run.metrics pl c in
+          step ();
+          r)
+        cells
+    else begin
+      let out =
+        Stc_par.Pool.with_pool ~domains:ctx.Run.jobs @@ fun pool ->
+        Stc_par.Pool.map ~chunk:1 pool
+          (fun c ->
+            let shard =
+              Option.map (fun _ -> Stc_obs.Registry.create ()) ctx.Run.metrics
+            in
+            (exec_cell ~metrics:shard pl c, shard))
+          cells
+      in
+      (match ctx.Run.metrics with
+      | Some main ->
+        Array.iter
+          (fun (_, shard) ->
+            match shard with
+            | Some s -> Stc_obs.Registry.merge ~into:main s
+            | None -> ())
+          out
+      | None -> ());
+      Array.iter (fun _ -> step ()) out;
+      Array.map fst out
+    end
+  in
+  (match reporter with Some p -> Stc_obs.Progress.finish p | None -> ());
+  Array.to_list rows
 
 let stc_params (c : sim_config) ~cache_bytes ~cfa_bytes =
   L.Stc.params ~exec_threshold:c.exec_threshold
     ~branch_threshold:c.branch_threshold ~cache_bytes ~cfa_bytes ()
 
-let simulate ?metrics ?progress ?(config = default_sim_config)
-    (pl : Pipeline.t) =
-  let span name f =
-    match metrics with
-    | Some reg -> Stc_obs.Registry.span reg name f
-    | None -> f ()
-  in
-  span "simulate-grid" @@ fun () ->
+(* The serial prefix: build every layout (cheap, and Profile memoizes a
+   successor cache that must not be raced) and list the grid's cells in
+   the exact order the serial implementation visited them. *)
+let plan_simulate ~ctx config (pl : Pipeline.t) =
+  let span name f = Run.span ctx name f in
   let profile = pl.Pipeline.profile in
   let orig = span "layout-original" (fun () -> L.Original.layout pl.Pipeline.program) in
   let ph = span "layout-pettis-hansen" (fun () -> L.Pettis_hansen.layout profile) in
-  let rows = ref [] in
-  let run_one c pl layout variant ~cache_kb ~cfa_kb =
-    let r = run_one ?metrics c pl layout variant ~cache_kb ~cfa_kb in
-    (match progress with Some p -> Stc_obs.Progress.step p | None -> ());
-    r
+  let cells = ref [] in
+  let add layout variant ~cache_kb ~cfa_kb =
+    cells :=
+      {
+        c_table = "table34";
+        c_config = config;
+        c_layout = layout;
+        c_variant = variant;
+        c_cache_kb = cache_kb;
+        c_cfa_kb = cfa_kb;
+      }
+      :: !cells
   in
-  let emit r = rows := r :: !rows in
   (* ideal (perfect cache) for the fixed layouts *)
-  emit (run_one config pl orig Ideal ~cache_kb:0 ~cfa_kb:(-1));
-  emit (run_one config pl ph Ideal ~cache_kb:0 ~cfa_kb:(-1));
-  emit (run_one config pl orig Tc_ideal ~cache_kb:0 ~cfa_kb:(-1));
+  add orig Ideal ~cache_kb:0 ~cfa_kb:None;
+  add ph Ideal ~cache_kb:0 ~cfa_kb:None;
+  add orig Tc_ideal ~cache_kb:0 ~cfa_kb:None;
   List.iter
     (fun (cache_kb, cfas) ->
       let cache_bytes = cache_kb * 1024 in
       (* layout-independent rows, once per cache size *)
-      emit (run_one config pl orig Direct ~cache_kb ~cfa_kb:(-1));
-      emit (run_one config pl orig Two_way ~cache_kb ~cfa_kb:(-1));
-      emit (run_one config pl orig Victim ~cache_kb ~cfa_kb:(-1));
-      emit (run_one config pl orig Trace_cache ~cache_kb ~cfa_kb:(-1));
-      emit (run_one config pl ph Direct ~cache_kb ~cfa_kb:(-1));
+      add orig Direct ~cache_kb ~cfa_kb:None;
+      add orig Two_way ~cache_kb ~cfa_kb:None;
+      add orig Victim ~cache_kb ~cfa_kb:None;
+      add orig Trace_cache ~cache_kb ~cfa_kb:None;
+      add ph Direct ~cache_kb ~cfa_kb:None;
       List.iter
-        (fun cfa_kb ->
-          let cfa_bytes = cfa_kb * 1024 in
+        (fun cfa ->
+          let cfa_bytes = cfa * 1024 in
           let params = stc_params config ~cache_bytes ~cfa_bytes in
           let torr =
             span "layout-torrellas" (fun () ->
@@ -291,17 +354,32 @@ let simulate ?metrics ?progress ?(config = default_sim_config)
                 L.Stc.layout profile ~name:"ops" ~params
                   ~seeds:(L.Stc.ops_seeds profile))
           in
+          let cfa_kb = Some cfa in
           List.iter
             (fun layout ->
-              emit (run_one config pl layout Direct ~cache_kb ~cfa_kb);
-              emit (run_one config pl layout Ideal ~cache_kb ~cfa_kb))
+              add layout Direct ~cache_kb ~cfa_kb;
+              add layout Ideal ~cache_kb ~cfa_kb)
             [ torr; auto; ops ];
           (* software + hardware trace cache *)
-          emit (run_one config pl ops Trace_cache ~cache_kb ~cfa_kb);
-          emit (run_one config pl ops Tc_ideal ~cache_kb ~cfa_kb))
+          add ops Trace_cache ~cache_kb ~cfa_kb;
+          add ops Tc_ideal ~cache_kb ~cfa_kb)
         cfas)
     config.grid;
-  List.rev !rows
+  List.rev !cells
+
+let simulate_gen ~ctx ~on_cell ~config pl =
+  Run.span ctx "simulate-grid" @@ fun () ->
+  exec_cells ~ctx ~on_cell ~label:"simulate" pl (plan_simulate ~ctx config pl)
+
+let simulate ?(ctx = Run.default) ?(config = default_sim_config) pl =
+  simulate_gen ~ctx ~on_cell:(fun () -> ()) ~config pl
+
+let simulate_legacy ?metrics ?progress ?(config = default_sim_config) pl =
+  let ctx = { Run.default with Run.metrics } in
+  let on_cell () =
+    match progress with Some p -> Stc_obs.Progress.step p | None -> ()
+  in
+  simulate_gen ~ctx ~on_cell ~config pl
 
 (* ---------- table rendering ---------- *)
 
@@ -323,11 +401,12 @@ let grid_of rows =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun r ->
-      if r.variant = Direct && r.cfa_kb >= 0 then begin
+      match r.cfa_kb with
+      | Some cfa when r.variant = Direct ->
         let cur = Option.value ~default:[] (Hashtbl.find_opt tbl r.cache_kb) in
-        if not (List.mem r.cfa_kb cur) then
-          Hashtbl.replace tbl r.cache_kb (r.cfa_kb :: cur)
-      end)
+        if not (List.mem cfa cur) then
+          Hashtbl.replace tbl r.cache_kb (cfa :: cur)
+      | _ -> ())
     rows;
   Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) tbl []
   |> List.sort compare
@@ -356,17 +435,18 @@ let print_table3 rows =
           let first = i = 0 in
           let fixed layout variant =
             if first then
-              miss_cell (find rows ~layout ~cache_kb ~cfa_kb:(-1) ~variant)
+              miss_cell (find rows ~layout ~cache_kb ~cfa_kb:None ~variant)
             else "-"
           in
+          let cfa = Some cfa_kb in
           Tbl.add_row t
             [
               Printf.sprintf "%d/%d" cache_kb cfa_kb;
               fixed "orig" Direct;
               fixed "P&H" Direct;
-              miss_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb ~variant:Direct);
-              miss_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb ~variant:Direct);
-              miss_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Direct);
+              miss_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
+              miss_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
+              miss_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
               fixed "orig" Two_way;
               fixed "orig" Victim;
             ])
@@ -402,7 +482,7 @@ let print_table4 rows =
         (fun r ->
           if
             String.equal r.layout layout
-            && r.variant = Ideal && r.cache_kb = 0 && r.cfa_kb >= 0
+            && r.variant = Ideal && r.cache_kb = 0 && r.cfa_kb <> None
           then Some r.bandwidth
           else None)
         rows
@@ -431,12 +511,12 @@ let print_table4 rows =
   Tbl.add_row t
     [
       "Ideal";
-      ideal "orig" (-1);
-      ideal "P&H" (-1);
+      ideal "orig" None;
+      ideal "P&H" None;
       ideal_range "Torr";
       ideal_range "auto";
       ideal_range "ops";
-      bw_cell (find rows ~layout:"orig" ~cache_kb:0 ~cfa_kb:(-1) ~variant:Tc_ideal);
+      bw_cell (find rows ~layout:"orig" ~cache_kb:0 ~cfa_kb:None ~variant:Tc_ideal);
       tc_ideal_range ();
     ];
   Tbl.add_rule t;
@@ -449,20 +529,21 @@ let print_table4 rows =
           let first = i = 0 in
           let fixed layout variant =
             if first then
-              bw_cell (find rows ~layout ~cache_kb ~cfa_kb:(-1) ~variant)
+              bw_cell (find rows ~layout ~cache_kb ~cfa_kb:None ~variant)
             else "-"
           in
+          let cfa = Some cfa_kb in
           Tbl.add_row t
             [
               Printf.sprintf "%d/%d" cache_kb cfa_kb;
               fixed "orig" Direct;
               fixed "P&H" Direct;
-              bw_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb ~variant:Direct);
-              bw_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb ~variant:Direct);
-              bw_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Direct);
+              bw_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
+              bw_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
+              bw_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
               fixed "orig" Trace_cache;
               bw_cell
-                (find rows ~layout:"ops" ~cache_kb ~cfa_kb ~variant:Trace_cache);
+                (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Trace_cache);
             ])
         cfas;
       if gi < last_group then Tbl.add_rule t)
@@ -494,11 +575,11 @@ type ablation_row = {
   a_bandwidth : float;
 }
 
-let ablation ?metrics ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
-    ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
+let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
     (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
-  let rows = ref [] in
+  (* serial prefix: one ops layout per sweep point *)
+  let metas = ref [] and cells = ref [] in
   List.iter
     (fun a_exec ->
       List.iter
@@ -517,26 +598,48 @@ let ablation ?metrics ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 100
                   ~cfa_bytes:(a_cfa_kb * 1024)
               in
               let ops =
-                L.Stc.layout profile ~name:"ops" ~params
-                  ~seeds:(L.Stc.ops_seeds profile)
+                Run.span ctx "layout-stc" (fun () ->
+                    L.Stc.layout profile ~name:"ops" ~params
+                      ~seeds:(L.Stc.ops_seeds profile))
               in
-              let r =
-                run_one ?metrics ~table:"ablation" config pl ops Direct
-                  ~cache_kb ~cfa_kb:a_cfa_kb
-              in
-              rows :=
+              metas := (a_exec, a_branch, a_cfa_kb) :: !metas;
+              cells :=
                 {
-                  a_exec;
-                  a_branch;
-                  a_cfa_kb;
-                  a_miss_pct = r.miss_pct;
-                  a_bandwidth = r.bandwidth;
+                  c_table = "ablation";
+                  c_config = config;
+                  c_layout = ops;
+                  c_variant = Direct;
+                  c_cache_kb = cache_kb;
+                  c_cfa_kb = Some a_cfa_kb;
                 }
-                :: !rows)
+                :: !cells)
             cfa_kbs)
         branch_thresholds)
     exec_thresholds;
-  List.rev !rows
+  let rows = exec_cells ~ctx ~on_cell:(fun () -> ()) ~label:"ablation" pl (List.rev !cells) in
+  List.map2
+    (fun (a_exec, a_branch, a_cfa_kb) (r : row) ->
+      {
+        a_exec;
+        a_branch;
+        a_cfa_kb;
+        a_miss_pct = r.miss_pct;
+        a_bandwidth = r.bandwidth;
+      })
+    (List.rev !metas) rows
+
+let ablation ?(ctx = Run.default) ?(cache_kb = 32)
+    ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
+    ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
+    (pl : Pipeline.t) =
+  ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
+
+let ablation_legacy ?metrics ?(cache_kb = 32)
+    ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
+    ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
+    (pl : Pipeline.t) =
+  let ctx = { Run.default with Run.metrics } in
+  ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
 
 let print_ablation rows =
   let t =

@@ -60,7 +60,7 @@ val variant_name : variant -> string
 type row = {
   layout : string;  (** "orig", "P&H", "Torr", "auto", "ops". *)
   cache_kb : int;
-  cfa_kb : int;  (** [-1] when the layout has no CFA (orig, P&H). *)
+  cfa_kb : int option;  (** [None] when the layout has no CFA (orig, P&H). *)
   variant : variant;
   miss_pct : float;  (** I-cache misses per 100 instructions. *)
   bandwidth : float;  (** Instructions per fetch cycle. *)
@@ -68,19 +68,30 @@ type row = {
   tc_hit_pct : float;  (** Trace-cache hit rate; 0 when no trace cache. *)
 }
 
-val simulate :
+val simulate : ?ctx:Run.ctx -> ?config:sim_config -> Pipeline.t -> row list
+(** Run every configuration of Tables 3 and 4 once over the Test trace
+    (each row is one trace-driven simulation). Layout construction is a
+    serial prefix; the cells then run on [ctx.jobs] domains ([1] =
+    in-process serial, the default). With [ctx.metrics], the whole grid
+    runs inside a [simulate-grid] span (layout construction in child
+    spans), the fetch engine accumulates its [engine.*] counters, and
+    every simulation emits one [table34.cell] event carrying the row plus
+    the cell's i-cache/trace-cache counters ([cfa_kb] is JSON [null] for
+    CFA-less layouts). The registry contents — counter totals and event
+    order included — are identical at any job count: parallel cells record
+    into per-cell shards merged in input order. With [ctx.progress], a
+    "simulate" progress line is emitted every 10 cells. *)
+
+val simulate_legacy :
   ?metrics:Stc_obs.Registry.t ->
   ?progress:Stc_obs.Progress.t ->
   ?config:sim_config ->
   Pipeline.t ->
   row list
-(** Run every configuration of Tables 3 and 4 once over the Test trace
-    (each row is one trace-driven simulation). With [?metrics], the whole
-    grid runs inside a [simulate-grid] span (layout construction in child
-    spans), the fetch engine accumulates its [engine.*] counters, and
-    every simulation emits one [table34.cell] event carrying the row plus
-    the cell's i-cache/trace-cache counters. [?progress] is stepped once
-    per cell. *)
+[@@ocaml.deprecated
+  "use Experiments.simulate ?ctx — Run.ctx carries metrics and jobs"]
+(** The pre-[Run.ctx] call shape; always serial. [?progress] is stepped
+    once per cell. *)
 
 val print_table3 : row list -> unit
 
@@ -100,6 +111,19 @@ type ablation_row = {
 }
 
 val ablation :
+  ?ctx:Run.ctx ->
+  ?cache_kb:int ->
+  ?exec_thresholds:int list ->
+  ?branch_thresholds:float list ->
+  ?cfa_kbs:int list ->
+  Pipeline.t ->
+  ablation_row list
+(** Sweep the STC parameters (ops seeds) at one cache size. Layout
+    construction is a serial prefix; sweep points run on [ctx.jobs]
+    domains with the same determinism guarantee as {!simulate}. With
+    [ctx.metrics], each sweep point emits one [ablation.cell] event. *)
+
+val ablation_legacy :
   ?metrics:Stc_obs.Registry.t ->
   ?cache_kb:int ->
   ?exec_thresholds:int list ->
@@ -107,7 +131,8 @@ val ablation :
   ?cfa_kbs:int list ->
   Pipeline.t ->
   ablation_row list
-(** Sweep the STC parameters (ops seeds) at one cache size. With
-    [?metrics], each sweep point emits one [ablation.cell] event. *)
+[@@ocaml.deprecated
+  "use Experiments.ablation ?ctx — Run.ctx carries metrics and jobs"]
+(** The pre-[Run.ctx] call shape; always serial. *)
 
 val print_ablation : ablation_row list -> unit

@@ -3,10 +3,10 @@ module F = Stc_fetch
 module P = Stc_profile
 module Tbl = Stc_util.Tbl
 
-let fetch_run program layout trace ~cache_kb ?prediction () =
+let fetch_run ~ctx program layout trace ~cache_kb ?prediction () =
   let view = F.View.create program layout trace in
   let icache = Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) () in
-  F.Engine.run ~icache ?prediction F.Engine.default_config view
+  F.Engine.run ~ctx ~icache ?prediction view
 
 (* ---------- inlining ---------- *)
 
@@ -31,14 +31,16 @@ let stc_layout profile ~cache_kb ~cfa_kb ~name ~seeds =
   in
   L.Stc.layout profile ~name ~params ~seeds
 
-let inlining ?config ?(cache_kb = 32) ?(cfa_kb = 8) (pl : Pipeline.t) =
+let inlining ?(ctx = Run.default) ?config ?(cache_kb = 32) ?(cfa_kb = 8)
+    (pl : Pipeline.t) =
+  Run.span ctx "ext-inlining" @@ fun () ->
   let base_prog = pl.Pipeline.program in
   let tr = L.Inline.transform ?config pl.Pipeline.profile in
   let inl_prog = L.Inline.program tr in
   let inl_profile = L.Inline.remap_profile tr pl.Pipeline.training in
   let inl_test = L.Inline.remap_trace tr pl.Pipeline.test in
   let run variant program layout trace =
-    let r = fetch_run program layout trace ~cache_kb () in
+    let r = fetch_run ~ctx program layout trace ~cache_kb () in
     {
       i_variant = variant;
       i_layout = layout.L.Layout.name;
@@ -102,8 +104,9 @@ type oltp_row = { o_layout : string; o_miss : float; o_ipc : float; o_ibt : floa
 
 type oltp_report = { oltp_trace_blocks : int; oltp_rows : oltp_row list }
 
-let oltp ?(train_txns = 300) ?(test_txns = 600) ?(cache_kb = 16)
-    (pl : Pipeline.t) =
+let oltp ?(ctx = Run.default) ?(train_txns = 300) ?(test_txns = 600)
+    ?(cache_kb = 16) (pl : Pipeline.t) =
+  Run.span ctx "ext-oltp" @@ fun () ->
   let kernel = pl.Pipeline.kernel in
   let db = pl.Pipeline.db_btree in
   let train_mix = Stc_workload.Oltp.mix db ~seed:0xB0B1L ~n:train_txns in
@@ -117,7 +120,7 @@ let oltp ?(train_txns = 300) ?(test_txns = 600) ?(cache_kb = 16)
   let profile = P.Profile.create pl.Pipeline.program in
   Stc_trace.Recorder.replay train (P.Profile.sink profile);
   let run layout =
-    let r = fetch_run pl.Pipeline.program layout test ~cache_kb () in
+    let r = fetch_run ~ctx pl.Pipeline.program layout test ~cache_kb () in
     {
       o_layout = layout.L.Layout.name;
       o_miss = F.Engine.miss_rate_pct r;
@@ -170,7 +173,9 @@ type prediction_row = {
   p_ipc : float;
 }
 
-let prediction ?(cache_kb = 32) ?(cfa_kb = 8) (pl : Pipeline.t) =
+let prediction ?(ctx = Run.default) ?(cache_kb = 32) ?(cfa_kb = 8)
+    (pl : Pipeline.t) =
+  Run.span ctx "ext-prediction" @@ fun () ->
   let layouts =
     [
       L.Original.layout pl.Pipeline.program;
@@ -197,8 +202,8 @@ let prediction ?(cache_kb = 32) ?(cfa_kb = 8) (pl : Pipeline.t) =
               kind
           in
           let r =
-            fetch_run pl.Pipeline.program layout pl.Pipeline.test ~cache_kb
-              ?prediction ()
+            fetch_run ~ctx pl.Pipeline.program layout pl.Pipeline.test
+              ~cache_kb ?prediction ()
           in
           let accuracy =
             match prediction with
@@ -244,7 +249,8 @@ type query_row = {
   q_miss_ops : float;
 }
 
-let per_query ?(cache_kb = 16) (pl : Pipeline.t) =
+let per_query ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
+  Run.span ctx "ext-per-query" @@ fun () ->
   let prog = pl.Pipeline.program in
   let orig = L.Original.layout prog in
   let ops =
@@ -274,7 +280,7 @@ let per_query ?(cache_kb = 16) (pl : Pipeline.t) =
         let icache =
           Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
         in
-        F.Engine.miss_rate_pct (F.Engine.run ~icache F.Engine.default_config view)
+        F.Engine.miss_rate_pct (F.Engine.run ~ctx ~icache view)
       in
       { q_name = name; q_blocks = hi - lo; q_miss_orig = miss orig; q_miss_ops = miss ops })
     ranges
@@ -307,7 +313,8 @@ let print_per_query rows =
 
 type seqn_row = { s_layout : string; s_max_branches : int; s_ipc : float }
 
-let fetch_units ?(cache_kb = 16) (pl : Pipeline.t) =
+let fetch_units ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
+  Run.span ctx "ext-fetch-units" @@ fun () ->
   let prog = pl.Pipeline.program in
   let layouts =
     [
@@ -324,10 +331,8 @@ let fetch_units ?(cache_kb = 16) (pl : Pipeline.t) =
           let icache =
             Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
           in
-          let config =
-            { F.Engine.default_config with F.Engine.max_branches = s_max_branches }
-          in
-          let r = F.Engine.run ~icache config view in
+          let config = F.Engine.Config.make ~max_branches:s_max_branches () in
+          let r = F.Engine.run ~ctx ~config ~icache view in
           { s_layout = layout.L.Layout.name; s_max_branches; s_ipc = F.Engine.bandwidth r })
         [ 1; 2; 3 ])
     layouts
@@ -359,7 +364,8 @@ let print_fetch_units rows =
 
 type assoc_row = { a_layout : string; a_assoc : int; a_miss : float; a_ipc : float }
 
-let associativity ?(cache_kb = 16) (pl : Pipeline.t) =
+let associativity ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
+  Run.span ctx "ext-associativity" @@ fun () ->
   let prog = pl.Pipeline.program in
   let layouts =
     [
@@ -377,7 +383,7 @@ let associativity ?(cache_kb = 16) (pl : Pipeline.t) =
             Stc_cachesim.Icache.create ~assoc:a_assoc
               ~size_bytes:(cache_kb * 1024) ()
           in
-          let r = F.Engine.run ~icache F.Engine.default_config view in
+          let r = F.Engine.run ~ctx ~icache view in
           {
             a_layout = layout.L.Layout.name;
             a_assoc;
@@ -410,8 +416,9 @@ let print_associativity rows =
 
 (* ---------- tuning ---------- *)
 
-let print_tuning ?(cache_kb = 32) (pl : Pipeline.t) =
-  let outcome = Tuner.tune ~cache_kb pl in
+let print_tuning ?(ctx = Run.default) ?(cache_kb = 32) (pl : Pipeline.t) =
+  Run.span ctx "ext-tuning" @@ fun () ->
+  let outcome = Tuner.tune ~ctx ~cache_kb pl in
   let c = outcome.Tuner.chosen in
   Printf.printf
     "Automatic threshold selection (%d candidates, scored on Training):\n\
@@ -423,7 +430,9 @@ let print_tuning ?(cache_kb = 32) (pl : Pipeline.t) =
     outcome.Tuner.train_bandwidth;
   (* held-out evaluation *)
   let eval name layout =
-    let r = fetch_run pl.Pipeline.program layout pl.Pipeline.test ~cache_kb () in
+    let r =
+      fetch_run ~ctx pl.Pipeline.program layout pl.Pipeline.test ~cache_kb ()
+    in
     Printf.printf "  %-24s %5.2f IPC, %5.2f miss%% on Test\n" name
       (F.Engine.bandwidth r) (F.Engine.miss_rate_pct r)
   in

@@ -1,7 +1,12 @@
 (** Experiments beyond the paper's tables, following its Section 8 future
     work: function inlining, OLTP workloads, automatic threshold
     selection, and branch-prediction sensitivity (the paper isolates
-    I-fetch with perfect prediction; here the assumption is relaxed). *)
+    I-fetch with perfect prediction; here the assumption is relaxed).
+
+    Every entry point takes [?ctx] ({!Run.ctx}); with [ctx.metrics] it
+    runs inside an [ext-*] timing span and the fetch engine accumulates
+    its [engine.*] counters. These studies are serial — [ctx.jobs] is not
+    read. *)
 
 (** {2 Function inlining (code expansion)} *)
 
@@ -20,6 +25,7 @@ type inline_report = {
 }
 
 val inlining :
+  ?ctx:Run.ctx ->
   ?config:Stc_layout.Inline.config ->
   ?cache_kb:int ->
   ?cfa_kb:int ->
@@ -43,7 +49,12 @@ type oltp_report = {
 }
 
 val oltp :
-  ?train_txns:int -> ?test_txns:int -> ?cache_kb:int -> Pipeline.t -> oltp_report
+  ?ctx:Run.ctx ->
+  ?train_txns:int ->
+  ?test_txns:int ->
+  ?cache_kb:int ->
+  Pipeline.t ->
+  oltp_report
 (** Train the layouts on one OLTP transaction mix and evaluate on a
     different one (both on the B-tree database). *)
 
@@ -58,7 +69,8 @@ type prediction_row = {
   p_ipc : float;
 }
 
-val prediction : ?cache_kb:int -> ?cfa_kb:int -> Pipeline.t -> prediction_row list
+val prediction :
+  ?ctx:Run.ctx -> ?cache_kb:int -> ?cfa_kb:int -> Pipeline.t -> prediction_row list
 
 val print_prediction : prediction_row list -> unit
 
@@ -71,7 +83,7 @@ type query_row = {
   q_miss_ops : float;
 }
 
-val per_query : ?cache_kb:int -> Pipeline.t -> query_row list
+val per_query : ?ctx:Run.ctx -> ?cache_kb:int -> Pipeline.t -> query_row list
 (** I-cache miss rates per Test query (using the recorder marks), under
     the original and the ops layouts. Caches are cold at each query start
     (pessimistic, but comparable across queries). *)
@@ -86,7 +98,7 @@ type seqn_row = {
   s_ipc : float;
 }
 
-val fetch_units : ?cache_kb:int -> Pipeline.t -> seqn_row list
+val fetch_units : ?ctx:Run.ctx -> ?cache_kb:int -> Pipeline.t -> seqn_row list
 (** The Rotenberg et al. sequential-engine family: how many branches a
     fetch block may contain. The paper evaluates SEQ.3; this quantifies
     what the choice is worth on the database workload. *)
@@ -102,7 +114,7 @@ type assoc_row = {
   a_ipc : float;
 }
 
-val associativity : ?cache_kb:int -> Pipeline.t -> assoc_row list
+val associativity : ?ctx:Run.ctx -> ?cache_kb:int -> Pipeline.t -> assoc_row list
 (** The paper only pits the 2-way cache against software layouts on the
     {e original} code; this measures both dimensions together — how much
     of the layout benefit survives once the cache is associative. *)
@@ -111,7 +123,7 @@ val print_associativity : assoc_row list -> unit
 
 (** {2 Automatic threshold selection} *)
 
-val print_tuning : ?cache_kb:int -> Pipeline.t -> unit
+val print_tuning : ?ctx:Run.ctx -> ?cache_kb:int -> Pipeline.t -> unit
 (** Run {!Tuner.tune} on the Training trace, then evaluate the chosen
     configuration (and the paper's hand-picked defaults) on the Test
     trace. *)

@@ -47,15 +47,21 @@ type t = {
   profile : Profile.t;
 }
 
-let run ?metrics ?(progress = false) ?(config = default_config) () =
-  let span name f =
-    match metrics with
-    | Some reg -> Stc_obs.Registry.span reg name f
-    | None -> f ()
+let seeded seed (config : config) =
+  {
+    config with
+    data_seed = Int64.of_int seed;
+    walker_seed = Int64.of_int (seed + 17);
+    kernel = { config.kernel with Kernel.seed = Int64.of_int (seed + 34) };
+  }
+
+let run ?(ctx = Run.default) ?(config = default_config) () =
+  let config =
+    match ctx.Run.seed with Some s -> seeded s config | None -> config
   in
-  let reporter label =
-    if progress then Some (Stc_obs.Progress.create ~label ()) else None
-  in
+  let metrics = ctx.Run.metrics in
+  let span name f = Run.span ctx name f in
+  let reporter label = Run.reporter ctx ~label () in
   let kernel = span "kernel-build" (fun () -> Kernel.build ~config:config.kernel ()) in
   let data =
     span "datagen" (fun () ->
@@ -110,6 +116,10 @@ let run ?metrics ?(progress = false) ?(config = default_config) () =
     test;
     profile;
   }
+
+let run_legacy ?metrics ?(progress = false) ?(config = default_config) () =
+  let ctx = { Run.default with Run.metrics; progress } in
+  run ~ctx ~config ()
 
 let replay_test t f = Recorder.replay t.test f
 

@@ -33,13 +33,26 @@ type t = {
   profile : Stc_profile.Profile.t;  (** Built from the Training trace. *)
 }
 
-val run :
-  ?metrics:Stc_obs.Registry.t -> ?progress:bool -> ?config:config -> unit -> t
-(** Build everything. With [?metrics], each phase (kernel build, data
+val seeded : int -> config -> config
+(** [seeded s config] derives every stream seed from the single integer
+    [s]: data generation uses [s], the query walker [s + 17], kernel
+    construction [s + 34] (distinct offsets so the streams never
+    coincide). This is what {!run} applies when [ctx.seed] is set. *)
+
+val run : ?ctx:Run.ctx -> ?config:config -> unit -> t
+(** Build everything. With [ctx.metrics], each phase (kernel build, data
     generation, database load, trace recording, profile build) runs inside
     a timing span, and the walker/recorder counters are registered under
-    [training.*] / [test.*]. With [progress:true], trace recording reports
-    rate on stderr. *)
+    [training.*] / [test.*]. With [ctx.progress], trace recording reports
+    rate on stderr. With [ctx.seed], [config] is first passed through
+    {!seeded}. [ctx.jobs] is not read here — the pipeline is inherently
+    sequential; pass the same [ctx] on to {!Experiments.simulate}. *)
+
+val run_legacy :
+  ?metrics:Stc_obs.Registry.t -> ?progress:bool -> ?config:config -> unit -> t
+[@@ocaml.deprecated
+  "use Pipeline.run ?ctx — Run.ctx carries metrics/progress/seed"]
+(** The pre-[Run.ctx] call shape. *)
 
 val replay_test : t -> (int -> unit) -> unit
 

@@ -1,0 +1,1 @@
+include Stc_obs.Run

@@ -1,0 +1,14 @@
+(** The run context every [Stc_core] entry point takes as [?ctx]:
+    a re-export of {!Stc_obs.Run} (the type lives in [lib/obs] so that
+    lower layers like {!Stc_fetch.Engine} can take the same context
+    without depending on [stc_core]).
+
+    {[
+      let ctx = Run.default |> Run.with_metrics reg |> Run.with_jobs 4 in
+      let pl = Pipeline.run ~ctx () in
+      let rows = Experiments.simulate ~ctx pl in ...
+    ]} *)
+
+include module type of struct
+  include Stc_obs.Run
+end

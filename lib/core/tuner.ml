@@ -42,28 +42,32 @@ let layout_of (pl : Pipeline.t) ~cache_kb c =
   in
   L.Stc.layout profile ~name ~params ~seeds
 
-let tune ?(cache_kb = 32) ?(space = default_space) (pl : Pipeline.t) =
+let tune ?(ctx = Run.default) ?(cache_kb = 32) ?(space = default_space)
+    (pl : Pipeline.t) =
   if space = [] then invalid_arg "Tuner.tune: empty candidate space";
-  let score c =
-    let layout = layout_of pl ~cache_kb c in
-    let view =
-      F.View.create pl.Pipeline.program layout pl.Pipeline.training
-    in
-    let icache =
-      Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
-    in
-    F.Engine.bandwidth (F.Engine.run ~icache F.Engine.default_config view)
+  let candidates = Array.of_list space in
+  (* serial prefix: layout construction shares the profile's memo caches *)
+  let layouts = Array.map (layout_of pl ~cache_kb) candidates in
+  (* Scoring passes no registry even when [ctx.metrics] is set, so the
+     exported engine counters do not depend on the candidate space or on
+     [ctx.jobs] — only the winner's held-out evaluation is recorded (by
+     the caller). *)
+  let score layout =
+    let view = F.View.create pl.Pipeline.program layout pl.Pipeline.training in
+    let icache = Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) () in
+    F.Engine.bandwidth (F.Engine.run ~icache view)
   in
-  let best =
-    List.fold_left
-      (fun acc c ->
-        let bw = score c in
-        match acc with
-        | Some (_, best_bw) when best_bw >= bw -> acc
-        | _ -> Some (c, bw))
-      None space
+  let scores =
+    if ctx.Run.jobs <= 1 then Array.map score layouts
+    else
+      Stc_par.Pool.with_pool ~domains:ctx.Run.jobs @@ fun pool ->
+      Stc_par.Pool.map ~chunk:1 pool score layouts
   in
-  match best with
-  | Some (chosen, train_bandwidth) ->
-    { chosen; train_bandwidth; evaluated = List.length space }
-  | None -> assert false
+  (* first-seen candidate wins ties, as in the serial fold *)
+  let best = ref 0 in
+  Array.iteri (fun i bw -> if bw > scores.(!best) then best := i) scores;
+  {
+    chosen = candidates.(!best);
+    train_bandwidth = scores.(!best);
+    evaluated = Array.length candidates;
+  }

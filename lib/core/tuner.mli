@@ -26,9 +26,12 @@ val default_space : candidate list
     CFA {4, 8, 16} KB. *)
 
 val tune :
-  ?cache_kb:int -> ?space:candidate list -> Pipeline.t -> outcome
+  ?ctx:Run.ctx -> ?cache_kb:int -> ?space:candidate list -> Pipeline.t -> outcome
 (** Score every candidate at the given cache size (default 32 KB) on the
-    Training trace and return the best. *)
+    Training trace and return the best (first-seen wins ties). Layout
+    construction is a serial prefix; candidates are then scored on
+    [ctx.jobs] domains. Scoring never writes to [ctx.metrics], so the
+    exported registry is identical at any job count. *)
 
 val layout_of :
   Pipeline.t -> cache_kb:int -> candidate -> Stc_layout.Layout.t

@@ -1,10 +1,23 @@
 module Icache = Stc_cachesim.Icache
 
-type config = { max_branches : int; line_bytes : int; miss_penalty : int }
+module Config = struct
+  type t = { max_branches : int; line_bytes : int; miss_penalty : int }
+
+  let default = { max_branches = 3; line_bytes = 32; miss_penalty = 5 }
+
+  let make ?(max_branches = 3) ?(line_bytes = 32) ?(miss_penalty = 5) () =
+    { max_branches; line_bytes; miss_penalty }
+end
+
+type config = Config.t = {
+  max_branches : int;
+  line_bytes : int;
+  miss_penalty : int;
+}
 
 type prediction = { pred : Predictor.t; redirect_penalty : int }
 
-let default_config = { max_branches = 3; line_bytes = 32; miss_penalty = 5 }
+let default_config = Config.default
 
 type result = {
   instrs : int;
@@ -46,7 +59,8 @@ let publish reg r =
   add "mispredictions" r.mispredictions;
   C.incr (Reg.counter reg "engine.runs")
 
-let run ?icache ?trace_cache ?prediction ?metrics config view =
+let run ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction view =
+  let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
   let len = View.length view in
   let line = config.line_bytes in
   let instr_bytes = Stc_cfg.Block.instr_bytes in
@@ -175,3 +189,9 @@ let run ?icache ?trace_cache ?prediction ?metrics config view =
   in
   (match metrics with Some reg -> publish reg r | None -> ());
   r
+
+let run_legacy ?icache ?trace_cache ?prediction ?metrics config view =
+  let ctx =
+    Option.map (fun reg -> Stc_obs.Run.(with_metrics reg default)) metrics
+  in
+  run ?ctx ~config ?icache ?trace_cache ?prediction view

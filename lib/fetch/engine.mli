@@ -11,20 +11,33 @@
       cache hit supplies its whole trace in one cycle with no i-cache
       access. *)
 
-type config = {
+(** Engine parameters. Build with {!Config.make}; every argument defaults
+    to the paper's Section 7.1 value. *)
+module Config : sig
+  type t = { max_branches : int; line_bytes : int; miss_penalty : int }
+
+  val default : t
+  (** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty. *)
+
+  val make :
+    ?max_branches:int -> ?line_bytes:int -> ?miss_penalty:int -> unit -> t
+  (** Override any subset of {!default}. *)
+end
+
+type config = Config.t = {
   max_branches : int;
   line_bytes : int;
   miss_penalty : int;
 }
+
+val default_config : config
+[@@ocaml.deprecated "use Engine.Config.default (or omit ?config entirely)"]
 
 type prediction = {
   pred : Predictor.t;
   redirect_penalty : int;
       (** Cycles lost per mispredicted conditional-branch direction. *)
 }
-
-val default_config : config
-(** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty. *)
 
 type result = {
   instrs : int;  (** Instructions supplied. *)
@@ -49,6 +62,25 @@ val miss_rate_pct : result -> float
 (** I-cache misses per 100 instructions executed (the unit of Table 3). *)
 
 val run :
+  ?ctx:Stc_obs.Run.ctx ->
+  ?config:config ->
+  ?icache:Stc_cachesim.Icache.t ->
+  ?trace_cache:Tracecache.t ->
+  ?prediction:prediction ->
+  View.t ->
+  result
+(** Simulate the whole stream: [run view] is a complete call —
+    [?config] defaults to {!Config.default}. [?icache = None] models the
+    Ideal (perfect) instruction cache: no misses, no penalties. Without
+    [?prediction], branch prediction is perfect, as in the paper; with
+    it, every mispredicted conditional-branch direction costs
+    [redirect_penalty] cycles. The caches' state and statistics are
+    updated in place (pass fresh ones per experiment). Of [?ctx] only
+    [metrics] is read: the run's result is accumulated into the
+    registry's [engine.*] counters (totals across every run sharing the
+    registry). *)
+
+val run_legacy :
   ?icache:Stc_cachesim.Icache.t ->
   ?trace_cache:Tracecache.t ->
   ?prediction:prediction ->
@@ -56,11 +88,6 @@ val run :
   config ->
   View.t ->
   result
-(** Simulate the whole stream. [?icache = None] models the Ideal (perfect)
-    instruction cache: no misses, no penalties. Without [?prediction],
-    branch prediction is perfect, as in the paper; with it, every
-    mispredicted conditional-branch direction costs
-    [redirect_penalty] cycles. The caches' state and statistics are
-    updated in place (pass fresh ones per experiment). With [?metrics],
-    the run's result is accumulated into the registry's [engine.*]
-    counters (totals across every run sharing the registry). *)
+[@@ocaml.deprecated
+  "use Engine.run ?ctx ?config view — Run.ctx carries the registry"]
+(** The pre-[Run.ctx] call shape (positional config, [?metrics]). *)

@@ -1,7 +1,9 @@
 module Tbl = Stc_util.Tbl
 module Stats = Stc_util.Stats
 
-let schema_version = 1
+(* 2: `table34.cell`/`ablation.cell` events emit `"cfa_kb":null` (not -1)
+   for layouts without a Conflict-Free Area. *)
+let schema_version = 2
 
 (* ---------- JSONL ---------- *)
 

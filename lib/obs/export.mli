@@ -3,7 +3,8 @@
     [tools/metrics_diff]) and to an aligned text summary for humans.
 
     JSONL schema, one object per line, in this order:
-    - [{"type":"meta","schema":1}]
+    - [{"type":"meta","schema":2}] — 2 since cell events use
+      [null] (not [-1]) for the missing [cfa_kb] of CFA-less layouts
     - [{"type":"counter","name":N,"value":I}] — sorted by name
     - [{"type":"gauge","name":N,"value":F}] — sorted by name
     - [{"type":"histo","name":N,"total":I,"buckets":[[lo,hi,w],...]}]

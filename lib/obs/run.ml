@@ -1,0 +1,28 @@
+type ctx = {
+  metrics : Registry.t option;
+  progress : bool;
+  seed : int option;
+  jobs : int;
+}
+
+let default = { metrics = None; progress = false; seed = None; jobs = 1 }
+
+let with_metrics reg ctx = { ctx with metrics = Some reg }
+
+let with_progress progress ctx = { ctx with progress }
+
+let with_seed seed ctx = { ctx with seed = Some seed }
+
+let with_jobs jobs ctx = { ctx with jobs = max 1 jobs }
+
+let span ctx name f =
+  match ctx.metrics with Some reg -> Registry.span reg name f | None -> f ()
+
+let event ctx ~kind fields =
+  match ctx.metrics with
+  | Some reg -> Registry.event reg ~kind fields
+  | None -> ()
+
+let reporter ctx ?interval ?total ~label () =
+  if ctx.progress then Some (Progress.create ?interval ?total ~label ())
+  else None

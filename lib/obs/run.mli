@@ -1,0 +1,60 @@
+(** The run context: one value carrying everything an entry point needs
+    to know about {e how} to run — observability sinks, seeding, and
+    parallelism — so that APIs take a single [?ctx] instead of growing a
+    [?metrics]/[?progress]/[?seed]/[?jobs] optional each.
+
+    [Stc_core.Run] re-exports this module; library users normally write
+
+    {[
+      let ctx =
+        Run.default
+        |> Run.with_metrics registry
+        |> Run.with_seed 1
+        |> Run.with_jobs 4
+      in
+      let pl = Pipeline.run ~ctx () in
+      let rows = Experiments.simulate ~ctx pl in ...
+    ]}
+
+    The record is transparent: [{ ctx with jobs = 1 }] is fine too. The
+    pre-[ctx] per-function [?metrics]/[?progress] optional pairs survive
+    as deprecated [*_legacy] wrappers on their modules. *)
+
+type ctx = {
+  metrics : Registry.t option;
+      (** Registry collecting counters/spans/events; [None] = don't. *)
+  progress : bool;  (** Report rate/ETA lines on stderr. *)
+  seed : int option;
+      (** Master seed; entry points that build randomized state derive
+          their sub-seeds from it (see {!Stc_core.Pipeline.seeded}). *)
+  jobs : int;
+      (** Parallelism for grid phases: domains used by {!Stc_par.Pool}.
+          [1] = the exact serial path, never spawning a domain. *)
+}
+
+val default : ctx
+(** [{ metrics = None; progress = false; seed = None; jobs = 1 }] —
+    observe nothing, derive nothing, run serially. *)
+
+(** {2 Builders} *)
+
+val with_metrics : Registry.t -> ctx -> ctx
+
+val with_progress : bool -> ctx -> ctx
+
+val with_seed : int -> ctx -> ctx
+
+val with_jobs : int -> ctx -> ctx
+(** Clamped to at least 1. *)
+
+(** {2 Helpers for ctx-threading code} *)
+
+val span : ctx -> string -> (unit -> 'a) -> 'a
+(** {!Registry.span} when metrics are on, plain call otherwise. *)
+
+val event : ctx -> kind:string -> (string * Json.t) list -> unit
+(** {!Registry.event} when metrics are on, dropped otherwise. *)
+
+val reporter :
+  ctx -> ?interval:int -> ?total:int -> label:string -> unit -> Progress.t option
+(** A {!Progress} reporter when [ctx.progress], [None] otherwise. *)

@@ -1,0 +1,167 @@
+type job = {
+  total : int;
+  chunk : int;
+  next : int Atomic.t;
+  work : int -> int -> unit;  (* work lo hi, half-open; must not raise *)
+}
+
+type t = {
+  n_workers : int;  (* spawned domains; the caller is one more *)
+  mutable workers : unit Domain.t array;
+  m : Mutex.t;
+  have_job : Condition.t;
+  job_done : Condition.t;
+  mutable gen : int;  (* job generation; bumped on submit *)
+  mutable job : job option;  (* the job of generation [gen] *)
+  mutable finished : int;  (* workers done with the current generation *)
+  mutable stopping : bool;
+}
+
+let run_chunks job =
+  let rec go () =
+    let lo = Atomic.fetch_and_add job.next job.chunk in
+    if lo < job.total then begin
+      job.work lo (min (lo + job.chunk) job.total);
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stopping) && t.gen = !last do
+      Condition.wait t.have_job t.m
+    done;
+    if t.stopping then Mutex.unlock t.m
+    else begin
+      last := t.gen;
+      let job = Option.get t.job in
+      Mutex.unlock t.m;
+      run_chunks job;
+      Mutex.lock t.m;
+      t.finished <- t.finished + 1;
+      if t.finished = t.n_workers then Condition.signal t.job_done;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | Some d -> max 1 d
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let t =
+    {
+      n_workers = domains - 1;
+      workers = [||];
+      m = Mutex.create ();
+      have_job = Condition.create ();
+      job_done = Condition.create ();
+      gen = 0;
+      job = None;
+      finished = 0;
+      stopping = false;
+    }
+  in
+  t.workers <- Array.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let domains t = t.n_workers + 1
+
+(* Run [job] to completion using the whole pool; the calling domain
+   participates. Returns once every worker has left the job, so the
+   workers' writes happen-before the caller's reads (mutex hand-off). *)
+let submit t job =
+  if t.stopping then invalid_arg "Stc_par.Pool: pool is shut down";
+  if t.n_workers = 0 then run_chunks job
+  else begin
+    Mutex.lock t.m;
+    t.job <- Some job;
+    t.finished <- 0;
+    t.gen <- t.gen + 1;
+    Condition.broadcast t.have_job;
+    Mutex.unlock t.m;
+    run_chunks job;
+    Mutex.lock t.m;
+    while t.finished < t.n_workers do
+      Condition.wait t.job_done t.m
+    done;
+    t.job <- None;
+    Mutex.unlock t.m
+  end
+
+let default_chunk ~total ~domains =
+  (* several chunks per domain so uneven costs balance *)
+  max 1 (total / (domains * 8))
+
+let iter_chunks ?chunk t n f =
+  if n > 0 then begin
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> default_chunk ~total:n ~domains:(t.n_workers + 1)
+    in
+    (* A failed chunk records (lo, exn, backtrace); unclaimed chunks are
+       skipped once a failure is seen. After the join the lowest-indexed
+       failure is re-raised in the caller. *)
+    let errors = Atomic.make [] in
+    let cancelled = Atomic.make false in
+    let work lo hi =
+      if not (Atomic.get cancelled) then
+        try f ~lo ~hi
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          Atomic.set cancelled true;
+          let rec push () =
+            let old = Atomic.get errors in
+            if not (Atomic.compare_and_set errors old ((lo, e, bt) :: old))
+            then push ()
+          in
+          push ()
+    in
+    submit t { total = n; chunk; next = Atomic.make 0; work };
+    match Atomic.get errors with
+    | [] -> ()
+    | errs ->
+      let lo0, e, bt =
+        List.fold_left
+          (fun ((lo0, _, _) as acc) ((lo, _, _) as c) ->
+            if lo < lo0 then c else acc)
+          (List.hd errs) (List.tl errs)
+      in
+      ignore lo0;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let map ?chunk t f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let results = Array.make n None in
+    iter_chunks ?chunk t n (fun ~lo ~hi ->
+        for i = lo to hi - 1 do
+          results.(i) <- Some (f xs.(i))
+        done);
+    Array.map
+      (function Some v -> v | None -> assert false (* iter_chunks raised *))
+      results
+  end
+
+let shutdown t =
+  if not t.stopping then begin
+    Mutex.lock t.m;
+    t.stopping <- true;
+    Condition.broadcast t.have_job;
+    Mutex.unlock t.m;
+    Array.iter Domain.join t.workers;
+    t.workers <- [||]
+  end
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

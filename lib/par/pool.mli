@@ -1,0 +1,57 @@
+(** A fixed-size domain pool with chunked, self-scheduling work queues —
+    the substrate for the embarrassingly parallel simulation grids
+    (Tables 3/4, the ablation sweep, and any future parameter sweep).
+
+    Design points:
+
+    - {b Fixed size.} [create ~domains:n] provides a parallelism of [n]:
+      [n - 1] worker domains are spawned once and reused across calls;
+      the calling domain is the [n]-th worker while a {!map} or
+      {!iter_chunks} call is in flight. [~domains:1] spawns nothing and
+      runs every task inline — the exact serial path.
+    - {b Chunked queues.} Each call shares one atomic cursor; workers
+      claim [chunk] consecutive indices at a time (self-scheduling), so
+      uneven task costs balance without a scheduler thread.
+    - {b Deterministic results.} {!map} writes the result of input [i]
+      into slot [i]: the output array is ordered by input index, never by
+      completion order.
+    - {b Exception propagation.} A raising task never hangs the pool: the
+      remaining work is cancelled (already-claimed chunks finish), the
+      workers return to idle, and the exception of the lowest-indexed
+      failing chunk is re-raised in the caller with its backtrace.
+
+    A pool must be driven from one domain at a time (calls do not nest
+    and are not thread-safe); tasks must not themselves call into the
+    same pool. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains:n ()] spawns [n - 1] worker domains ([n] is clamped
+    to at least 1). Default: [Domain.recommended_domain_count () - 1],
+    leaving one core for the rest of the system. *)
+
+val domains : t -> int
+(** The parallelism (worker domains + the calling domain), i.e. the
+    [~domains] the pool was created with. *)
+
+val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map pool f xs] computes [Array.map f xs] using every domain of the
+    pool. Results land by input index. [~chunk] is the number of
+    consecutive indices a worker claims at a time (default: a heuristic
+    giving each domain several chunks; pass [~chunk:1] when tasks are
+    few and individually heavy, as simulation cells are). *)
+
+val iter_chunks : ?chunk:int -> t -> int -> (lo:int -> hi:int -> unit) -> unit
+(** [iter_chunks pool n f] partitions [0..n-1] into chunks and calls
+    [f ~lo ~hi] (half-open range) for each, in parallel. [f] must only
+    touch state disjoint per index. This is the primitive {!map} is
+    built on; use it directly to avoid materializing an input array. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent. The pool must be idle. Calling
+    {!map} after [shutdown] raises [Invalid_argument]. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards
+    (also on exception). *)

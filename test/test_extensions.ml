@@ -168,7 +168,7 @@ let test_tuner_beats_or_matches_origin () =
     let view = Stc_fetch.View.create pl.Pipeline.program l pl.Pipeline.test in
     let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
     Stc_fetch.Engine.bandwidth
-      (Stc_fetch.Engine.run ~icache Stc_fetch.Engine.default_config view)
+      (Stc_fetch.Engine.run ~icache view)
   in
   Alcotest.(check bool) "tuned beats original on Test" true
     (run layout > run (L.Original.layout pl.Pipeline.program))

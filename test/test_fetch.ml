@@ -35,7 +35,7 @@ let test_ideal_single_window () =
   let prog, b0, b1, b2 = tiny () in
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
-  let r = F.Engine.run F.Engine.default_config view in
+  let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 16 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 1 r.F.Engine.cycles
 
@@ -45,7 +45,7 @@ let test_taken_branch_splits_fetch () =
   let prog, b0, _b1, b2 = tiny () in
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout (record [ b0; b2 ]) in
-  let r = F.Engine.run F.Engine.default_config view in
+  let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 12 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
 
@@ -66,7 +66,7 @@ let test_branch_limit () =
   let prog = Builder.build b in
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout (record (Array.to_list ids)) in
-  let r = F.Engine.run F.Engine.default_config view in
+  let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 6 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
 
@@ -75,7 +75,7 @@ let test_miss_penalty () =
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
   let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
-  let r = F.Engine.run ~icache F.Engine.default_config view in
+  let r = F.Engine.run ~icache view in
   (* one fetch cycle + one 5-cycle compulsory-miss penalty *)
   Alcotest.(check int) "cycles with penalty" 6 r.F.Engine.cycles;
   Alcotest.(check bool) "some miss" true (r.F.Engine.icache_misses > 0)
@@ -90,7 +90,7 @@ let test_window_alignment () =
   let prog = Builder.build b in
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout (record [ big ]) in
-  let r = F.Engine.run F.Engine.default_config view in
+  let r = F.Engine.run view in
   (* 40 instrs from address 0: 16 + 16 + 8 = 3 cycles *)
   Alcotest.(check int) "cycles" 3 r.F.Engine.cycles;
   Alcotest.(check int) "instrs" 40 r.F.Engine.instrs
@@ -113,7 +113,7 @@ let test_instr_conservation () =
   List.iter
     (fun (icache, tc) ->
       let r =
-        F.Engine.run ?icache ?trace_cache:tc F.Engine.default_config view
+        F.Engine.run ?icache ?trace_cache:tc view
       in
       Alcotest.(check int) "every instruction fetched exactly once" expected
         r.F.Engine.instrs;
@@ -132,9 +132,9 @@ let test_penalty_only_adds_cycles () =
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
   let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
-  let ideal = F.Engine.run F.Engine.default_config view in
+  let ideal = F.Engine.run view in
   let icache = Stc_cachesim.Icache.create ~size_bytes:8192 () in
-  let real = F.Engine.run ~icache F.Engine.default_config view in
+  let real = F.Engine.run ~icache view in
   Alcotest.(check int) "same fetch cycles" ideal.F.Engine.fetch_cycles
     real.F.Engine.fetch_cycles;
   Alcotest.(check bool) "penalties only add" true
@@ -147,7 +147,7 @@ let test_bigger_cache_fewer_misses () =
   let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
   let misses size =
     let icache = Stc_cachesim.Icache.create ~size_bytes:size () in
-    (F.Engine.run ~icache F.Engine.default_config view).F.Engine.icache_misses
+    (F.Engine.run ~icache view).F.Engine.icache_misses
   in
   let m8 = misses 8192 and m64 = misses 65536 in
   Alcotest.(check bool) "64KB <= 8KB misses" true (m64 <= m8)
@@ -160,12 +160,12 @@ let test_trace_cache_improves () =
   let without =
     F.Engine.run
       ~icache:(Stc_cachesim.Icache.create ~size_bytes:16384 ())
-      F.Engine.default_config view
+      view
   in
   let with_tc =
     F.Engine.run
       ~icache:(Stc_cachesim.Icache.create ~size_bytes:16384 ())
-      ~trace_cache:(F.Tracecache.create ()) F.Engine.default_config view
+      ~trace_cache:(F.Tracecache.create ()) view
   in
   Alcotest.(check bool) "trace cache helps bandwidth" true
     (F.Engine.bandwidth with_tc > F.Engine.bandwidth without);

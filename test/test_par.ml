@@ -1,0 +1,132 @@
+module Pool = Stc_par.Pool
+module Run = Stc_core.Run
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+module Registry = Stc_obs.Registry
+module Json = Stc_obs.Json
+
+(* ---------- pool basics ---------- *)
+
+let test_map_ordering () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let xs = Array.init 100 (fun i -> i) in
+  let expected = Array.map (fun x -> x * x) xs in
+  Alcotest.(check (array int))
+    "chunk 1" expected
+    (Pool.map ~chunk:1 pool (fun x -> x * x) xs);
+  Alcotest.(check (array int))
+    "default chunk" expected
+    (Pool.map pool (fun x -> x * x) xs);
+  Alcotest.(check (array int))
+    "oversized chunk" expected
+    (Pool.map ~chunk:1000 pool (fun x -> x * x) xs);
+  (* reuse: the same pool serves many calls *)
+  for _ = 1 to 5 do
+    Alcotest.(check (array int))
+      "reused" expected
+      (Pool.map ~chunk:3 pool (fun x -> x * x) xs)
+  done
+
+let test_map_empty_and_serial () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map pool (fun x -> x) [||]);
+  Pool.with_pool ~domains:1 @@ fun serial ->
+  Alcotest.(check int) "domains 1" 1 (Pool.domains serial);
+  Alcotest.(check (array int))
+    "inline path" [| 0; 2; 4 |]
+    (Pool.map serial (fun x -> 2 * x) (Array.init 3 (fun i -> i)))
+
+let test_iter_chunks_coverage () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let n = 1037 in
+  let hits = Array.make n 0 in
+  (* chunks are disjoint, so these writes race on nothing *)
+  Pool.iter_chunks ~chunk:16 pool n (fun ~lo ~hi ->
+      for i = lo to hi - 1 do
+        hits.(i) <- hits.(i) + 1
+      done);
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun c -> c = 1) hits)
+
+exception Boom of int
+
+let test_exception_propagation () =
+  Pool.with_pool ~domains:4 @@ fun pool ->
+  let xs = Array.init 64 (fun i -> i) in
+  (* a raising task must not hang the pool, and the exception reaches the
+     caller *)
+  (match Pool.map ~chunk:1 pool (fun x -> if x = 17 then raise (Boom x) else x) xs with
+  | _ -> Alcotest.fail "exception swallowed"
+  | exception Boom 17 -> ());
+  (* ... and the pool is still usable afterwards *)
+  Alcotest.(check (array int))
+    "pool alive after failure" (Array.map (fun x -> x + 1) xs)
+    (Pool.map ~chunk:1 pool (fun x -> x + 1) xs)
+
+let test_shutdown () =
+  let pool = Pool.create ~domains:3 () in
+  Alcotest.(check int) "domains" 3 (Pool.domains pool);
+  ignore (Pool.map pool (fun x -> x) [| 1; 2; 3 |]);
+  Pool.shutdown pool;
+  Pool.shutdown pool (* idempotent *);
+  Alcotest.check_raises "map after shutdown"
+    (Invalid_argument "Stc_par.Pool: pool is shut down") (fun () ->
+      ignore (Pool.map pool (fun x -> x) [| 1 |]))
+
+let test_ctx_builders () =
+  let ctx = Run.default |> Run.with_jobs 0 in
+  Alcotest.(check int) "jobs clamped to 1" 1 ctx.Run.jobs;
+  let ctx = Run.default |> Run.with_jobs 4 |> Run.with_seed 7 in
+  Alcotest.(check int) "jobs kept" 4 ctx.Run.jobs;
+  Alcotest.(check bool) "seed set" true (ctx.Run.seed = Some 7);
+  Alcotest.(check bool) "no metrics by default" true (ctx.Run.metrics = None)
+
+(* ---------- jobs-invariance of the simulation grid ---------- *)
+
+let tiny_config = { Pipeline.quick_config with Pipeline.sf = 0.0003 }
+
+let tiny_grid = { E.default_sim_config with E.grid = [ (8, [ 2; 4 ]) ] }
+
+let strip_seconds records =
+  List.map
+    (function
+      | Json.Obj fields ->
+        Json.Obj (List.filter (fun (k, _) -> k <> "seconds") fields)
+      | v -> v)
+    records
+
+let grid_run jobs =
+  let reg = Registry.create () in
+  let ctx = Run.default |> Run.with_metrics reg |> Run.with_jobs jobs in
+  let pl = Pipeline.run ~ctx ~config:tiny_config () in
+  let rows = E.simulate ~ctx ~config:tiny_grid pl in
+  let ab =
+    E.ablation ~ctx ~cache_kb:8 ~exec_thresholds:[ 10; 50 ]
+      ~branch_thresholds:[ 0.3 ] ~cfa_kbs:[ 2 ] pl
+  in
+  (rows, ab, strip_seconds (Json.lines (Stc_obs.Export.to_jsonl reg)))
+
+let test_jobs_invariance () =
+  let rows1, ab1, export1 = grid_run 1 in
+  let rows3, ab3, export3 = grid_run 3 in
+  Alcotest.(check bool) "simulate rows identical" true (rows1 = rows3);
+  Alcotest.(check bool) "ablation rows identical" true (ab1 = ab3);
+  Alcotest.(check int) "same export length" (List.length export1)
+    (List.length export3);
+  List.iter2
+    (fun x y ->
+      if x <> y then
+        Alcotest.failf "export drift between jobs=1 and jobs=3:\n%s\n%s"
+          (Json.to_string x) (Json.to_string y))
+    export1 export3
+
+let suite =
+  [
+    Alcotest.test_case "map ordering and reuse" `Quick test_map_ordering;
+    Alcotest.test_case "map empty + domains=1" `Quick test_map_empty_and_serial;
+    Alcotest.test_case "iter_chunks coverage" `Quick test_iter_chunks_coverage;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "shutdown" `Quick test_shutdown;
+    Alcotest.test_case "Run.ctx builders" `Quick test_ctx_builders;
+    Alcotest.test_case "jobs-invariant grid" `Slow test_jobs_invariance;
+  ]
