@@ -7,15 +7,24 @@
 
    Arguments:
      table1 | figure2 | reuse | table2 | figure3 | table3 | table4
-       | ablation | micro      — run a single part
+       | ablation | fetch | micro — run a single part
      --quick                   — reduced kernel and scale factor
      --scale SF                — override the TPC-D scale factor
      --seed N                  — master seed (Pipeline.seeded derivation)
      --jobs N                  — domains for the simulation grid; with
                                  N > 1 the grid is also timed serially
                                  and the speedup reported
+     --naive                   — fetch part: replay through the
+                                 pre-packed (View-per-cell) engine path
+                                 only, instead of packed + naive baseline
      --metrics FILE            — export run metrics as JSONL to FILE
-     --progress                — rate/ETA progress lines on stderr *)
+     --progress                — rate/ETA progress lines on stderr
+
+   The [fetch] part is the fetch-replay microbench: it times the same
+   simulation cells through Engine.run_packed and Engine.run_naive,
+   checks the results are identical, prints blocks/sec and the packed
+   speedup (plus a --jobs N parallel replay), and writes the numbers to
+   BENCH_fetch.json. *)
 
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
@@ -30,11 +39,15 @@ let parse_args () =
   and jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
   and metrics = ref None
   and progress = ref false
+  and naive = ref false
   and parts = ref [] in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
       quick := true;
+      go rest
+    | "--naive" :: rest ->
+      naive := true;
       go rest
     | "--scale" :: v :: rest ->
       scale := Some (float_of_string v);
@@ -56,9 +69,10 @@ let parse_args () =
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !scale, !seed, !jobs, !metrics, !progress, List.rev !parts)
+  (!quick, !scale, !seed, !jobs, !metrics, !progress, !naive, List.rev !parts)
 
-let quick, scale, seed, jobs, metrics_file, progress, parts = parse_args ()
+let quick, scale, seed, jobs, metrics_file, progress, naive, parts =
+  parse_args ()
 
 (* Fail on an unwritable --metrics path before the run, not after it. *)
 let () =
@@ -216,6 +230,171 @@ let run_tables () =
     print_newline ()
   end
 
+(* ---------- fetch-replay microbench (packed vs naive engine) ---------- *)
+
+module J = Stc_obs.Json
+
+(* Replays the test trace through a representative slice of the Table 3/4
+   grid (two layouts x {ideal, direct 16KB, direct 16KB + trace cache})
+   with both engine paths, asserts the results are identical, and records
+   the throughput in BENCH_fetch.json. With [--naive] only the pre-packed
+   path runs (with metrics), so @perf-smoke can diff the two exports. *)
+let fetch_bench () =
+  section
+    (if naive then "Fetch replay (naive engine path)"
+     else "Fetch replay (packed vs naive engine)");
+  let pl = Lazy.force pipeline in
+  let prog = pl.Pipeline.program in
+  let profile = pl.Pipeline.profile in
+  let trace = pl.Pipeline.test in
+  let blocks = Stc_trace.Recorder.length trace in
+  let params =
+    L.Stc.params ~exec_threshold:20 ~branch_threshold:0.3 ~cache_bytes:16384
+      ~cfa_bytes:4096 ()
+  in
+  let layouts =
+    [
+      ("orig", L.Original.layout prog);
+      ( "ops",
+        L.Stc.layout profile ~name:"ops" ~params
+          ~seeds:(L.Stc.ops_seeds profile) );
+    ]
+  in
+  let variants =
+    [
+      ("ideal", fun () -> (None, None));
+      ( "direct-16k",
+        fun () -> (Some (Stc_cachesim.Icache.create ~size_bytes:16384 ()), None)
+      );
+      ( "tc-16k",
+        fun () ->
+          ( Some (Stc_cachesim.Icache.create ~size_bytes:16384 ()),
+            Some (F.Tracecache.create ()) ) );
+    ]
+  in
+  let cells =
+    List.concat_map
+      (fun (_lname, layout) -> List.map (fun (_v, mk) -> (layout, mk)) variants)
+      layouts
+  in
+  let n_cells = List.length cells in
+  let total_blocks = n_cells * blocks in
+  let bps wall = float_of_int total_blocks /. wall in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run_all_naive ?ctx () =
+    List.map
+      (fun (layout, mk) ->
+        let icache, tc = mk () in
+        let view = F.View.create prog layout trace in
+        F.Engine.run_naive ?ctx ?icache ?trace_cache:tc view)
+      cells
+  in
+  let run_all_packed ?ctx compiled =
+    List.map
+      (fun (layout, mk) ->
+        let icache, tc = mk () in
+        F.Engine.run_packed ?ctx ?icache ?trace_cache:tc
+          (List.assq layout compiled))
+      cells
+  in
+  Printf.printf "  %d cells (%d layouts x %d variants), %d blocks each\n%!"
+    n_cells (List.length layouts) (List.length variants) blocks;
+  let fields =
+    if naive then begin
+      let _rs, wall = time (fun () -> run_all_naive ~ctx ()) in
+      Printf.printf "  naive : %6.2fs  %11.0f blocks/s\n%!" wall (bps wall);
+      [
+        ("mode", J.Str "naive");
+        ("blocks_per_sec", J.Float (bps wall));
+        ("jobs", J.Int 1);
+        ("cells", J.Int n_cells);
+        ("wall_s", J.Float wall);
+        ("blocks", J.Int total_blocks);
+      ]
+    end
+    else begin
+      let naive_rs, naive_wall = time (fun () -> run_all_naive ()) in
+      (* the packed wall clock includes compiling both layouts: the honest
+         end-to-end cost of the fast path *)
+      let (compiled, packed_rs), packed_wall =
+        time (fun () ->
+            let compiled =
+              List.map
+                (fun (_n, layout) ->
+                  (layout, F.Packed.compile prog layout trace))
+                layouts
+            in
+            (compiled, run_all_packed ~ctx compiled))
+      in
+      let identical = naive_rs = packed_rs in
+      let speedup = naive_wall /. packed_wall in
+      Printf.printf "  naive : %6.2fs  %11.0f blocks/s\n%!" naive_wall
+        (bps naive_wall);
+      Printf.printf "  packed: %6.2fs  %11.0f blocks/s  (%.2fx, results %s)\n%!"
+        packed_wall (bps packed_wall) speedup
+        (if identical then "identical" else "DIFFER (BUG)");
+      if not identical then begin
+        Printf.eprintf "bench fetch: packed results differ from naive\n";
+        exit 1
+      end;
+      let base =
+        [
+          ("mode", J.Str "packed");
+          ("cells", J.Int n_cells);
+          ("blocks", J.Int total_blocks);
+          ("naive_blocks_per_sec", J.Float (bps naive_wall));
+          ("naive_wall_s", J.Float naive_wall);
+          ("speedup", J.Float speedup);
+        ]
+      in
+      if jobs > 1 then begin
+        let par_rs, par_wall =
+          time (fun () ->
+              Stc_par.Pool.with_pool ~domains:jobs @@ fun pool ->
+              Array.to_list
+                (Stc_par.Pool.map ~chunk:1 pool
+                   (fun (layout, mk) ->
+                     let icache, tc = mk () in
+                     F.Engine.run_packed ?icache ?trace_cache:tc
+                       (List.assq layout compiled))
+                   (Array.of_list cells)))
+        in
+        Printf.printf
+          "  packed --jobs %d: %6.2fs  %11.0f blocks/s  (results %s)\n%!" jobs
+          par_wall (bps par_wall)
+          (if par_rs = packed_rs then "identical" else "DIFFER (BUG)");
+        if par_rs <> packed_rs then begin
+          Printf.eprintf "bench fetch: parallel results differ from serial\n";
+          exit 1
+        end;
+        base
+        @ [
+            ("blocks_per_sec", J.Float (bps par_wall));
+            ("jobs", J.Int jobs);
+            ("wall_s", J.Float par_wall);
+            ("serial_blocks_per_sec", J.Float (bps packed_wall));
+            ("serial_wall_s", J.Float packed_wall);
+          ]
+      end
+      else
+        base
+        @ [
+            ("blocks_per_sec", J.Float (bps packed_wall));
+            ("jobs", J.Int 1);
+            ("wall_s", J.Float packed_wall);
+          ]
+    end
+  in
+  let oc = open_out "BENCH_fetch.json" in
+  output_string oc (J.to_string (J.Obj fields));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  [fetch] BENCH_fetch.json written\n\n%!"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -295,6 +474,7 @@ let micro () =
 
 let () =
   run_tables ();
+  if wants "fetch" && parts <> [] then fetch_bench ();
   if wants "micro" then micro ();
   match metrics_file with
   | Some path ->

@@ -109,8 +109,9 @@ let victim_swap t line evicted =
     end
   end
 
-let access t addr =
-  Counter.incr t.accesses;
+type outcome = Hit | Victim_hit | Miss
+
+let access_uncounted t addr =
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_bits in
   let set = line land t.set_mask in
@@ -121,7 +122,7 @@ let access t addr =
   done;
   if !hit_way >= 0 then begin
     t.stamps.(base + !hit_way) <- t.clock;
-    true
+    Hit
   end
   else begin
     (* choose the victim way: an invalid slot, else LRU *)
@@ -136,12 +137,21 @@ let access t addr =
     let evicted = t.tags.(base + !way) in
     t.tags.(base + !way) <- line;
     t.stamps.(base + !way) <- t.clock;
-    if victim_swap t line evicted then begin
-      Counter.incr t.victim_hits;
-      true
-    end
-    else begin
-      Counter.incr t.misses;
-      false
-    end
+    if victim_swap t line evicted then Victim_hit else Miss
   end
+
+let add_stats t ~accesses ~misses ~victim_hits =
+  Counter.add t.accesses accesses;
+  Counter.add t.misses misses;
+  Counter.add t.victim_hits victim_hits
+
+let access t addr =
+  Counter.incr t.accesses;
+  match access_uncounted t addr with
+  | Hit -> true
+  | Victim_hit ->
+    Counter.incr t.victim_hits;
+    true
+  | Miss ->
+    Counter.incr t.misses;
+    false

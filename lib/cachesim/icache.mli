@@ -23,6 +23,20 @@ val access : t -> int -> bool
     a hit. A victim-cache hit counts as a hit (the line is swapped back
     into the main cache). *)
 
+type outcome = Hit | Victim_hit | Miss
+
+val access_uncounted : t -> int -> outcome
+(** {!access}, except the statistics counters are left untouched (cache
+    {e state} — tags, LRU stamps, victim buffer — is still updated).
+    Hot replay loops count outcomes in local variables and flush once
+    with {!add_stats}, keeping the shared counters off the per-line
+    path; [access t a] is exactly
+    [access_uncounted t a] + the matching counter bumps. *)
+
+val add_stats : t -> accesses:int -> misses:int -> victim_hits:int -> unit
+(** Batch-add to the statistics counters; the flush half of the
+    {!access_uncounted} protocol. *)
+
 val line_bytes : t -> int
 
 val size_bytes : t -> int

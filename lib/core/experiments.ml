@@ -193,8 +193,8 @@ let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
 
 (* A planned simulation: everything one Table 3/4 (or ablation) cell needs,
    closed over a layout built in the serial prefix.  Cells share the
-   pipeline's program/profile/trace read-only; the i-cache, trace cache and
-   fetch view are created per cell, so a cell can run on any domain. *)
+   pipeline's program/profile/trace read-only; the i-cache and trace cache
+   are created per cell, so a cell can run on any domain. *)
 type cell = {
   c_table : string;
   c_config : sim_config;
@@ -204,10 +204,68 @@ type cell = {
   c_cfa_kb : int option;
 }
 
-let exec_cell ~metrics (pl : Pipeline.t) cell =
+(* Compiled packed trace views, shared per layout.  Many cells replay the
+   same layout (every cache size runs Direct/2-way/Victim/Trace-cache on
+   [orig], for instance); compiling the multi-million-block trace once per
+   {e layout} instead of once per {e cell} removes the dominant per-cell
+   setup cost.  The cache is keyed by layout identity, refcounted with the
+   number of cells planned against each layout so a compiled view is
+   dropped right after its last cell (peak memory stays a handful of
+   layouts, not the whole grid), and mutex-protected so pool domains can
+   share it; the compiled arrays themselves are immutable and read-only
+   across domains. *)
+module Pcache = struct
+  type entry = { mutable packed : F.Packed.t option; mutable remaining : int }
+
+  type t = {
+    pl : Pipeline.t;
+    m : Mutex.t;
+    mutable entries : (L.Layout.t * entry) list; (* assq: layout identity *)
+  }
+
+  let of_cells pl cells =
+    let t = { pl; m = Mutex.create (); entries = [] } in
+    Array.iter
+      (fun c ->
+        match List.assq_opt c.c_layout t.entries with
+        | Some e -> e.remaining <- e.remaining + 1
+        | None ->
+          t.entries <-
+            (c.c_layout, { packed = None; remaining = 1 }) :: t.entries)
+      cells;
+    t
+
+  let acquire t layout =
+    Mutex.lock t.m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.m) @@ fun () ->
+    match List.assq_opt layout t.entries with
+    | None ->
+      (* not planned through [of_cells]; compile without caching *)
+      F.Packed.compile t.pl.Pipeline.program layout t.pl.Pipeline.test
+    | Some e -> (
+      match e.packed with
+      | Some p -> p
+      | None ->
+        let p =
+          F.Packed.compile t.pl.Pipeline.program layout t.pl.Pipeline.test
+        in
+        e.packed <- Some p;
+        p)
+
+  let release t layout =
+    Mutex.lock t.m;
+    (match List.assq_opt layout t.entries with
+    | Some e ->
+      e.remaining <- e.remaining - 1;
+      if e.remaining <= 0 then e.packed <- None
+    | None -> ());
+    Mutex.unlock t.m
+end
+
+let exec_cell ~metrics ~pcache cell =
   let c = cell.c_config in
   let cache_kb = cell.c_cache_kb in
-  let view = F.View.create pl.Pipeline.program cell.c_layout pl.Pipeline.test in
+  let packed = Pcache.acquire pcache cell.c_layout in
   let icache =
     match cell.c_variant with
     | Ideal | Tc_ideal -> None
@@ -226,7 +284,11 @@ let exec_cell ~metrics (pl : Pipeline.t) cell =
     | Direct | Two_way | Victim | Ideal -> None
   in
   let ctx = Option.map (fun reg -> Run.(with_metrics reg default)) metrics in
-  let r = F.Engine.run ?ctx ~config:(engine_config c) ?icache ?trace_cache view in
+  let r =
+    F.Engine.run_packed ?ctx ~config:(engine_config c) ?icache ?trace_cache
+      packed
+  in
+  Pcache.release pcache cell.c_layout;
   let row =
     {
       layout = cell.c_layout.L.Layout.name;
@@ -257,6 +319,7 @@ let exec_cell ~metrics (pl : Pipeline.t) cell =
 let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
   let cells = Array.of_list cells in
   let n = Array.length cells in
+  let pcache = Pcache.of_cells pl cells in
   let reporter = Run.reporter ctx ~interval:10 ~total:n ~label () in
   let step () =
     (match reporter with Some p -> Stc_obs.Progress.step p | None -> ());
@@ -266,11 +329,28 @@ let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
     if ctx.Run.jobs <= 1 then
       Array.map
         (fun c ->
-          let r = exec_cell ~metrics:ctx.Run.metrics pl c in
+          let r = exec_cell ~metrics:ctx.Run.metrics ~pcache c in
           step ();
           r)
         cells
     else begin
+      (* Workers tick [completed] as cells finish; only the calling
+         domain — which participates in the pool — drains the tick count
+         into the reporter, so the (single-domain) Progress state is
+         never shared and the bar advances during the run instead of
+         jumping 0 -> 100% after the join.  The post-join drain accounts
+         for cells finished by other workers after the caller's last
+         one. *)
+      let completed = Atomic.make 0 in
+      let drained = ref 0 in
+      let caller = Domain.self () in
+      let drain () =
+        let d = Atomic.get completed in
+        while !drained < d do
+          incr drained;
+          step ()
+        done
+      in
       let out =
         Stc_par.Pool.with_pool ~domains:ctx.Run.jobs @@ fun pool ->
         Stc_par.Pool.map ~chunk:1 pool
@@ -278,7 +358,10 @@ let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
             let shard =
               Option.map (fun _ -> Stc_obs.Registry.create ()) ctx.Run.metrics
             in
-            (exec_cell ~metrics:shard pl c, shard))
+            let r = (exec_cell ~metrics:shard ~pcache c, shard) in
+            Atomic.incr completed;
+            if Domain.self () = caller then drain ();
+            r)
           cells
       in
       (match ctx.Run.metrics with
@@ -290,7 +373,7 @@ let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
             | None -> ())
           out
       | None -> ());
-      Array.iter (fun _ -> step ()) out;
+      drain ();
       Array.map fst out
     end
   in

@@ -59,7 +59,176 @@ let publish reg r =
   add "mispredictions" r.mispredictions;
   C.incr (Reg.counter reg "engine.runs")
 
-let run ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction view =
+(* The packed fast path: one unsafe word read per block, all statistics
+   accumulated in local ints and flushed to the caches' shared counters
+   once after the stream ends. Cycle accounting is line-for-line the
+   model of [run_naive] below; the two must stay result-identical (the
+   equality is property-tested and asserted by @perf-smoke). *)
+let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
+    packed =
+  let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
+  let words = Packed.raw packed in
+  let len = Packed.length packed in
+  let line = config.line_bytes in
+  let max_branches = config.max_branches in
+  let miss_penalty = config.miss_penalty in
+  let instr_bytes = Stc_cfg.Block.instr_bytes in
+  let cycles = ref 0 and penalties = ref 0 and instrs = ref 0 in
+  let seq_cycles = ref 0 and tc_cycles = ref 0 in
+  let cond_branches = ref 0 in
+  let ic_accesses = ref 0 and ic_misses = ref 0 and ic_vhits = ref 0 in
+  let tc_lookups = ref 0 and tc_hits = ref 0 in
+  let idx = ref 0 and off = ref 0 in
+  (* direction prediction per executed conditional branch, as in the
+     naive path; [w] is the block's packed word *)
+  let check_prediction w =
+    if Packed.w_cond w then begin
+      incr cond_branches;
+      match prediction with
+      | None -> ()
+      | Some { pred; redirect_penalty } ->
+        let pc = Packed.w_addr w + ((Packed.w_size w - 1) * 4) in
+        if
+          not
+            (Predictor.predict_and_update pred ~pc ~taken:(Packed.w_taken w))
+        then penalties := !penalties + redirect_penalty
+    end
+  in
+  let access_line a =
+    match icache with
+    | None -> true
+    | Some c -> (
+      incr ic_accesses;
+      match Icache.access_uncounted c a with
+      | Icache.Hit -> true
+      | Icache.Victim_hit ->
+        incr ic_vhits;
+        true
+      | Icache.Miss ->
+        incr ic_misses;
+        false)
+  in
+  while !idx < len do
+    let start_idx = !idx and start_off = !off in
+    let tc_hit =
+      match trace_cache with
+      | None -> None
+      | Some tc ->
+        incr tc_lookups;
+        let r =
+          Tracecache.lookup_uncounted tc packed ~idx:start_idx ~off:start_off
+        in
+        (match r with Some _ -> incr tc_hits | None -> ());
+        r
+    in
+    match tc_hit with
+    | Some info when info.Tracecache.n_instrs > 0 ->
+      incr cycles;
+      incr tc_cycles;
+      instrs := !instrs + info.Tracecache.n_instrs;
+      let stop = info.Tracecache.end_pos.View.idx in
+      (* every block whose final instruction lies inside the trace has its
+         branch resolved here *)
+      for i = !idx to stop - 1 do
+        check_prediction (Array.unsafe_get words i)
+      done;
+      idx := stop;
+      off := info.Tracecache.end_pos.View.off
+    | Some _ | None ->
+      (* sequential cycle *)
+      incr cycles;
+      incr seq_cycles;
+      let a =
+        Packed.w_addr (Array.unsafe_get words start_idx)
+        + (start_off * instr_bytes)
+      in
+      let line_no = a / line in
+      let hit1 = access_line (line_no * line) in
+      let hit2 = access_line ((line_no + 1) * line) in
+      if not (hit1 && hit2) then penalties := !penalties + miss_penalty;
+      let window_end = (line_no + 2) * line in
+      let branches = ref 0 in
+      let stop = ref false in
+      while not !stop do
+        let w = Array.unsafe_get words !idx in
+        let size = Packed.w_size w in
+        let cur_addr = Packed.w_addr w + (!off * instr_bytes) in
+        let space = (window_end - cur_addr) / instr_bytes in
+        let remaining = size - !off in
+        let take = if remaining <= space then remaining else space in
+        instrs := !instrs + take;
+        if take < remaining then begin
+          off := !off + take;
+          stop := true
+        end
+        else begin
+          let was_branch = Packed.w_branch w in
+          let taken = Packed.w_taken w in
+          if was_branch then incr branches;
+          check_prediction w;
+          incr idx;
+          off := 0;
+          if taken || (was_branch && !branches >= max_branches) || !idx >= len
+          then stop := true
+          else if Packed.w_addr (Array.unsafe_get words !idx) >= window_end
+          then stop := true
+        end
+      done;
+      (* the fill unit builds a new trace at the missed fetch address *)
+      (match trace_cache with
+      | Some tc -> Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
+      | None -> ())
+  done;
+  (* flush the locally-batched statistics before anything snapshots the
+     caches, so the shared counters end exactly where the per-access
+     counting of the naive path would leave them *)
+  (match icache with
+  | Some c ->
+    Icache.add_stats c ~accesses:!ic_accesses ~misses:!ic_misses
+      ~victim_hits:!ic_vhits
+  | None -> ());
+  (match trace_cache with
+  | Some tc -> Tracecache.add_stats tc ~lookups:!tc_lookups ~hits:!tc_hits
+  | None -> ());
+  let icache_accesses, icache_misses =
+    match icache with
+    | None -> (0, 0)
+    | Some c ->
+      let s = Icache.stats c in
+      (s.Icache.s_accesses, s.Icache.s_misses)
+  in
+  let r =
+    {
+      instrs = !instrs;
+      cycles = !cycles + !penalties;
+      fetch_cycles = !cycles;
+      seq_cycles = !seq_cycles;
+      tc_cycles = !tc_cycles;
+      icache_accesses;
+      icache_misses;
+      tc_lookups =
+        (match trace_cache with
+        | None -> 0
+        | Some tc -> Tracecache.lookups tc);
+      tc_hits =
+        (match trace_cache with None -> 0 | Some tc -> Tracecache.hits tc);
+      taken_branches = Packed.taken_branches packed;
+      instrs_between_taken = Packed.instrs_between_taken packed;
+      cond_branches = !cond_branches;
+      mispredictions =
+        (match prediction with
+        | Some { pred; _ } -> Predictor.mispredictions pred
+        | None -> 0);
+    }
+  in
+  (match metrics with Some reg -> publish reg r | None -> ());
+  r
+
+let run ?ctx ?config ?icache ?trace_cache ?prediction view =
+  run_packed ?ctx ?config ?icache ?trace_cache ?prediction (View.pack view)
+
+let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
+    view =
   let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
   let len = View.length view in
   let line = config.line_bytes in

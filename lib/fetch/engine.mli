@@ -78,7 +78,40 @@ val run :
     updated in place (pass fresh ones per experiment). Of [?ctx] only
     [metrics] is read: the run's result is accumulated into the
     registry's [engine.*] counters (totals across every run sharing the
-    registry). *)
+    registry).
+
+    [run] compiles the view into its {!Packed} form and dispatches to
+    {!run_packed}; to replay the same (layout × trace) several times,
+    compile once with {!View.pack} and call {!run_packed} directly. *)
+
+val run_packed :
+  ?ctx:Stc_obs.Run.ctx ->
+  ?config:config ->
+  ?icache:Stc_cachesim.Icache.t ->
+  ?trace_cache:Tracecache.t ->
+  ?prediction:prediction ->
+  Packed.t ->
+  result
+(** The allocation-free fast path: same simulation, same results, driven
+    by one unsafe packed-word read per block, with cache/trace-cache
+    statistics batched in locals and flushed to the shared counters once
+    at the end (so counter values, {!Stc_cachesim.Icache.stats}
+    snapshots and metric exports are identical to the naive path's). *)
+
+val run_naive :
+  ?ctx:Stc_obs.Run.ctx ->
+  ?config:config ->
+  ?icache:Stc_cachesim.Icache.t ->
+  ?trace_cache:Tracecache.t ->
+  ?prediction:prediction ->
+  View.t ->
+  result
+(** The pre-packing reference implementation, querying the {!View} per
+    block (bounds-checked, recomputing [taken], counting every cache
+    access on the shared counters). Kept as the semantic baseline:
+    equality with {!run_packed} is property-tested, and
+    [bench/main.exe fetch --naive] exercises it to measure the packed
+    speedup. *)
 
 val run_legacy :
   ?icache:Stc_cachesim.Icache.t ->

@@ -1,0 +1,142 @@
+module Program = Stc_cfg.Program
+module Block = Stc_cfg.Block
+module Terminator = Stc_cfg.Terminator
+module Recorder = Stc_trace.Recorder
+module Layout = Stc_layout.Layout
+
+(* One word per trace index:
+
+     bits 0..2   flags (taken / branch-end / cond-end)
+     bits 3..21  block size in instructions (19 bits)
+     bits 22..62 block byte address under the layout (41 bits)
+
+   so the whole per-block query surface of a View — address, size, both
+   terminator flags and the layout-dependent taken bit — is one
+   [Array.unsafe_get] plus register shifts, with no Recorder indirection
+   and nothing recomputed per query. *)
+
+let taken_bit = 1
+
+let branch_bit = 2
+
+let cond_bit = 4
+
+let size_shift = 3
+
+let addr_shift = 22
+
+let max_size = (1 lsl (addr_shift - size_shift)) - 1
+
+let max_addr = (1 lsl (62 - addr_shift)) - 1
+
+let w_taken w = w land taken_bit <> 0
+
+let w_branch w = w land branch_bit <> 0
+
+let w_cond w = w land cond_bit <> 0
+
+let w_size w = (w lsr size_shift) land max_size
+
+let w_addr w = w lsr addr_shift
+
+type t = {
+  words : int array; (* per trace index *)
+  len : int;
+  total_instrs : int;
+  taken_branches : int;
+}
+
+let of_tables ~sizes ~branch_end ~cond_end ~addrs rec_ =
+  let n = Array.length sizes in
+  if
+    Array.length branch_end <> n
+    || Array.length cond_end <> n
+    || Array.length addrs <> n
+  then invalid_arg "Packed.of_tables: table lengths differ";
+  for b = 0 to n - 1 do
+    if sizes.(b) < 0 || sizes.(b) > max_size then
+      invalid_arg "Packed.of_tables: block size out of range";
+    if addrs.(b) < 0 || addrs.(b) > max_addr then
+      invalid_arg "Packed.of_tables: block address out of range"
+  done;
+  (* per-block static word, missing only the per-index taken bit *)
+  let base = Array.make n 0 in
+  for b = 0 to n - 1 do
+    base.(b) <-
+      (addrs.(b) lsl addr_shift)
+      lor (sizes.(b) lsl size_shift)
+      lor (if branch_end.(b) then branch_bit else 0)
+      lor (if cond_end.(b) then cond_bit else 0)
+  done;
+  let len = Recorder.length rec_ in
+  let ids = Recorder.raw_ids rec_ in
+  let words = Array.make (max len 1) 0 in
+  let instrs = ref 0 and taken_n = ref 0 in
+  let instr_bytes = Block.instr_bytes in
+  for i = 0 to len - 1 do
+    let b = Array.unsafe_get ids i in
+    let w = Array.unsafe_get base b in
+    (* the transition i -> i+1 is taken when the next block does not
+       start where this one ends; the final index counts as taken *)
+    let taken =
+      i + 1 >= len
+      ||
+      let next = Array.unsafe_get base (Array.unsafe_get ids (i + 1)) in
+      next lsr addr_shift
+      <> (w lsr addr_shift) + (((w lsr size_shift) land max_size) * instr_bytes)
+    in
+    instrs := !instrs + ((w lsr size_shift) land max_size);
+    if taken then begin
+      incr taken_n;
+      Array.unsafe_set words i (w lor taken_bit)
+    end
+    else Array.unsafe_set words i w
+  done;
+  { words; len; total_instrs = !instrs; taken_branches = !taken_n }
+
+let compile prog layout rec_ =
+  let blocks = prog.Program.blocks in
+  of_tables
+    ~sizes:(Array.map (fun b -> b.Block.size) blocks)
+    ~branch_end:
+      (Array.map (fun b -> Terminator.has_branch_instr b.Block.term) blocks)
+    ~cond_end:
+      (Array.map
+         (fun b ->
+           match b.Block.term with Terminator.Cond _ -> true | _ -> false)
+         blocks)
+    ~addrs:(Array.init (Array.length blocks) (Layout.address layout))
+    rec_
+
+let length t = t.len
+
+let raw t = t.words
+
+let check t i =
+  if i < 0 || i >= t.len then invalid_arg "Packed: index out of bounds"
+
+let word t i =
+  check t i;
+  t.words.(i)
+
+let block_addr t i = w_addr (word t i)
+
+let block_size t i = w_size (word t i)
+
+let taken t i = w_taken (word t i)
+
+let has_branch t i = w_branch (word t i)
+
+let is_cond t i = w_cond (word t i)
+
+let addr t ~idx ~off = block_addr t idx + (off * Block.instr_bytes)
+
+let total_instrs t = t.total_instrs
+
+let taken_branches t = t.taken_branches
+
+let instrs_between_taken t =
+  if t.taken_branches = 0 then float_of_int t.total_instrs
+  else float_of_int t.total_instrs /. float_of_int t.taken_branches
+
+let memory_words t = Array.length t.words

@@ -1,0 +1,97 @@
+(** A (layout × recorded trace) pair compiled, once, into a flat
+    immutable representation the fetch engines can replay with zero
+    allocation and no per-query recomputation.
+
+    {!View} answers every per-block question by indirecting through the
+    [Recorder] (a bounds-checked lookup) into per-block-id tables, and
+    recomputes the layout-dependent [taken] bit from two addresses on
+    every query. Compiling packs the answers for each {e trace index}
+    into one integer word — block address, size, branch-end /
+    conditional-end flags and the precomputed taken bit — so the engine
+    inner loop is a single [Array.unsafe_get] plus shifts per block, and
+    the stream totals fall out of the same single compilation pass.
+
+    The structure is immutable after {!compile} and safe to share
+    read-only across domains; {!Stc_core}'s experiment grids compile one
+    per distinct layout and share it between all cells that replay that
+    layout. *)
+
+type t
+
+val compile :
+  Stc_cfg.Program.t -> Stc_layout.Layout.t -> Stc_trace.Recorder.t -> t
+(** One pass over the recorded trace. Raises [Invalid_argument] if a
+    block size or address does not fit the packed word (sizes up to
+    2^19-1 instructions, addresses up to 2 TB — far beyond any real
+    program). *)
+
+val of_tables :
+  sizes:int array ->
+  branch_end:bool array ->
+  cond_end:bool array ->
+  addrs:int array ->
+  Stc_trace.Recorder.t ->
+  t
+(** Compile from per-block-id tables (all indexed by block id) instead
+    of a program + layout; this is what {!View.pack} uses so a view and
+    its packed form share exactly the same inputs. *)
+
+val length : t -> int
+(** Number of blocks in the trace. *)
+
+(** {2 The hot-loop surface}
+
+    [raw t] is the word array itself (never mutate it); decode with the
+    [w_*] accessors. This is what {!Engine.run_packed} and the packed
+    {!Tracecache} paths iterate over. *)
+
+val raw : t -> int array
+
+val w_addr : int -> int
+(** Block byte address under the layout. *)
+
+val w_size : int -> int
+(** Block size in instructions. *)
+
+val w_taken : int -> bool
+(** The transition to the next trace index is non-sequential under the
+    layout (the last index counts as taken). *)
+
+val w_branch : int -> bool
+(** The block ends with a branch instruction. *)
+
+val w_cond : int -> bool
+(** The block ends with a conditional branch. *)
+
+(** {2 Checked per-index accessors}
+
+    Same answers as the [View] functions of the same name; used by tests
+    and non-hot callers. *)
+
+val word : t -> int -> int
+
+val block_addr : t -> int -> int
+
+val block_size : t -> int -> int
+
+val taken : t -> int -> bool
+
+val has_branch : t -> int -> bool
+
+val is_cond : t -> int -> bool
+
+val addr : t -> idx:int -> off:int -> int
+(** Byte address of instruction [off] of the block at trace index
+    [idx]. *)
+
+(** {2 Stream totals} — precomputed during compilation. *)
+
+val total_instrs : t -> int
+
+val taken_branches : t -> int
+
+val instrs_between_taken : t -> float
+
+val memory_words : t -> int
+(** Size of the compiled representation in words (one per trace index);
+    lets grid planners reason about cache residency. *)

@@ -110,6 +110,92 @@ let fill t view pos =
           e_outcomes = info.outcomes;
         }
 
+(* ---------- packed-view paths (see Packed): identical trace
+   construction and match logic, driven by unsafe word reads, with the
+   lookup/hit accounting left to the caller so the engine inner loop
+   touches no shared counters. ---------- *)
+
+let build_trace_limits_packed packed ~idx ~off ~width ~max_branches =
+  let words = Packed.raw packed in
+  let len = Packed.length packed in
+  let n = ref 0 and branches = ref 0 and outcomes = ref 0 in
+  let idx = ref idx and off = ref off in
+  let stop = ref false in
+  while not !stop do
+    if !idx >= len || !n >= width then stop := true
+    else begin
+      let w = Array.unsafe_get words !idx in
+      let size = Packed.w_size w in
+      let remaining = size - !off in
+      let take = min remaining (width - !n) in
+      n := !n + take;
+      if !off + take < size then begin
+        (* width limit hit mid-block *)
+        off := !off + take;
+        stop := true
+      end
+      else begin
+        (* block completed *)
+        (if Packed.w_branch w then begin
+           if Packed.w_taken w then outcomes := !outcomes lor (1 lsl !branches);
+           incr branches
+         end);
+        incr idx;
+        off := 0;
+        if !branches >= max_branches then stop := true
+      end
+    end
+  done;
+  {
+    n_instrs = !n;
+    n_branches = !branches;
+    outcomes = !outcomes;
+    end_pos = { View.idx = !idx; off = !off };
+  }
+
+let build_trace_packed packed ~idx ~off =
+  build_trace_limits_packed packed ~idx ~off ~width:16 ~max_branches:3
+
+let packed_fetch_addr packed ~idx ~off =
+  Packed.w_addr (Array.unsafe_get (Packed.raw packed) idx)
+  + (off * Stc_cfg.Block.instr_bytes)
+
+let lookup_uncounted t packed ~idx ~off =
+  let a = packed_fetch_addr packed ~idx ~off in
+  match t.entries.(index t a) with
+  | Some e when e.start_addr = a ->
+    let actual =
+      build_trace_limits_packed packed ~idx ~off ~width:t.width
+        ~max_branches:t.max_branches
+    in
+    if
+      actual.n_instrs = e.e_instrs
+      && actual.n_branches = e.e_branches
+      && actual.outcomes = e.e_outcomes
+    then Some actual
+    else None
+  | Some _ | None -> None
+
+let fill_packed t packed ~idx ~off =
+  let a = packed_fetch_addr packed ~idx ~off in
+  let info =
+    build_trace_limits_packed packed ~idx ~off ~width:t.width
+      ~max_branches:t.max_branches
+  in
+  if info.n_instrs > 0 then
+    t.entries.(index t a) <-
+      Some
+        {
+          start_addr = a;
+          e_instrs = info.n_instrs;
+          e_branches = info.n_branches;
+          e_outcomes = info.outcomes;
+        }
+
+let add_stats t ~lookups ~hits =
+  Counter.add t.lookups lookups;
+  Counter.add t.hits hits
+
 let lookups t = Counter.value t.lookups
 
 let hits t = Counter.value t.hits

@@ -31,6 +31,32 @@ val lookup : t -> View.t -> View.pos -> trace_info option
 val fill : t -> View.t -> View.pos -> unit
 (** Insert the trace starting at [pos] (called on the miss path). *)
 
+(** {2 Packed-view paths}
+
+    The same operations over a compiled {!Packed} view. Trace
+    construction and hit matching are identical to the [View] versions;
+    the difference is that they read unsafe packed words, allocate only
+    the returned [trace_info], and — [_uncounted] — leave the
+    lookup/hit statistics to the caller, which batches them in locals
+    and flushes once with {!add_stats}. This is what
+    {!Engine.run_packed} drives. *)
+
+val build_trace_packed : Packed.t -> idx:int -> off:int -> trace_info
+(** {!build_trace} over a packed view (paper limits: width 16,
+    3 branches). *)
+
+val lookup_uncounted : t -> Packed.t -> idx:int -> off:int -> trace_info option
+(** {!lookup} over a packed view, without touching the lookup/hit
+    counters. *)
+
+val fill_packed : t -> Packed.t -> idx:int -> off:int -> unit
+(** {!fill} over a packed view (fills never count statistics). *)
+
+val add_stats : t -> lookups:int -> hits:int -> unit
+(** Batch-add to the statistics counters; every {!lookup_uncounted}
+    should eventually be accounted here ([lookups] calls, of which
+    [hits] returned [Some]). *)
+
 val lookups : t -> int
 
 val hits : t -> int

@@ -72,3 +72,8 @@ let taken_branches t = snd (totals t)
 let instrs_between_taken t =
   let i, k = totals t in
   if k = 0 then float_of_int i else float_of_int i /. float_of_int k
+
+let pack t =
+  Packed.of_tables ~sizes:t.sizes ~branch_end:t.branch_end
+    ~cond_end:t.cond_end ~addrs:t.addrs t.rec_
+

@@ -44,3 +44,9 @@ val taken_branches : t -> int
     executed between taken branches". *)
 
 val instrs_between_taken : t -> float
+
+val pack : t -> Packed.t
+(** Compile this view into its flat {!Packed} form (one pass over the
+    trace). The packed view answers every accessor above identically;
+    {!Engine.run} packs internally, so call this only to compile once
+    and reuse across several runs. *)

@@ -41,6 +41,10 @@ let marks t = List.rev t.marks_rev
 
 let get t i = Vec.get t.trace i
 
+let unsafe_get t i = Vec.unsafe_get t.trace i
+
+let raw_ids t = Vec.raw t.trace
+
 let hash t =
   let h = ref 0xCBF29CE484222325L in
   Vec.iter

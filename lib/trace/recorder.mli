@@ -31,6 +31,18 @@ val marks : t -> (string * int) list
 (** Marks in recording order with their positions. *)
 
 val get : t -> int -> int
+(** Bounds-checked block id at index [i] — the safe API. *)
+
+val unsafe_get : t -> int -> int
+(** Unchecked {!get}, for hot replay loops that already know the bound. *)
+
+val raw_ids : t -> int array
+(** Read-only view of the underlying storage: the first {!length}
+    entries are the recorded block ids. No copy is made, so compiled
+    trace representations ({!Stc_fetch.Packed}) can scan millions of
+    entries without per-element bounds checks; the reference is
+    invalidated by the next {!sink} that grows the store, so do not hold
+    it across recording. *)
 
 val hash : t -> int64
 (** FNV-1a over the recorded ids — a cheap fingerprint for determinism

@@ -52,3 +52,5 @@ let to_array v = Array.sub v.data 0 v.len
 let of_array a = { data = Array.copy a; len = Array.length a }
 
 let unsafe_get v i = Array.unsafe_get v.data i
+
+let raw v = v.data

@@ -35,3 +35,10 @@ val of_array : int array -> t
 
 val unsafe_get : t -> int -> int
 (** No bounds check; for the hot replay loops. *)
+
+val raw : t -> int array
+(** The backing store itself — {e no copy}. Only the first {!length}
+    entries are meaningful, the array must be treated as read-only, and
+    the reference is invalidated by the next growing {!push}. For
+    tight compiled loops ([Array.unsafe_get] over a local binding); use
+    {!to_array} when a stable snapshot is needed. *)

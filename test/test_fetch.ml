@@ -184,6 +184,179 @@ let test_tc_build_trace_deterministic () =
   Alcotest.(check bool) "within limits" true
     (a.F.Tracecache.n_instrs <= 16 && a.F.Tracecache.n_branches <= 3)
 
+(* ---------- packed view: agreement with the naive View ---------- *)
+
+(* Random programs: skeletons compiled and auto-walked (the same recipe
+   as test_trace), paired with a random permutation layout. *)
+module Skeleton = Stc_trace.Skeleton
+module Bytecode = Stc_trace.Bytecode
+module Walker = Stc_trace.Walker
+
+let gen_skeleton : Skeleton.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let site_counter = ref 0 in
+  let fresh_site () =
+    incr site_counter;
+    Printf.sprintf "pk%d" !site_counter
+  in
+  let rec gen_stmt depth =
+    let base =
+      [
+        (3, map (fun n -> Skeleton.straight (1 + n)) (int_bound 6));
+        ( 1,
+          let* p = float_range 0.05 0.5 in
+          return
+            (Skeleton.if_ ~p (fresh_site ())
+               [ Skeleton.straight 2; Skeleton.return ]) );
+      ]
+    in
+    let nested =
+      if depth <= 0 then []
+      else
+        [
+          ( 2,
+            let* p = float_range 0.05 0.95 in
+            let* body = list_size (int_range 1 3) (gen_stmt (depth - 1)) in
+            return (Skeleton.if_ ~p (fresh_site ()) body) );
+          ( 1,
+            let* p = float_range 0.05 0.6 in
+            let* body = list_size (int_range 1 3) (gen_stmt (depth - 1)) in
+            return (Skeleton.while_ ~p (fresh_site ()) body) );
+        ]
+    in
+    frequency (base @ nested)
+  in
+  list_size (int_range 1 5) (gen_stmt 2)
+
+(* Compile and walk a skeleton into a (program, recorded trace) pair. *)
+let trace_of_skeleton skel =
+  let b = Builder.create () in
+  let pid = Builder.declare_proc b ~name:"auto" ~subsystem:Stc_cfg.Proc.Other in
+  let code_auto = Bytecode.compile b ~pid ~resolve:(Builder.pid_of_name b) skel in
+  let prog = Builder.build b in
+  let rec_ = Recorder.create () in
+  let code = Array.make 1 (Some code_auto) in
+  let w =
+    Walker.create ~program:prog ~code ~seed:11L ~sink:(Recorder.sink rec_)
+  in
+  for _ = 1 to 3 do
+    Walker.auto_run w pid
+  done;
+  (prog, rec_)
+
+let random_layout prog seed =
+  let n = Array.length prog.Stc_cfg.Program.blocks in
+  let order = Array.init n (fun i -> i) in
+  let st = Random.State.make [| seed |] in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  L.Layout.of_block_order prog ~name:"shuffled" order
+
+let prop_packed_agrees_with_view =
+  QCheck.Test.make ~name:"packed view agrees with naive view" ~count:60
+    QCheck.(pair (make gen_skeleton) (int_bound 10_000))
+    (fun (skel, layout_seed) ->
+      let prog, rec_ = trace_of_skeleton skel in
+      List.iter
+        (fun layout ->
+          let view = F.View.create prog layout rec_ in
+          (* both compilation routes must agree with the view *)
+          List.iter
+            (fun packed ->
+              let len = F.View.length view in
+              if F.Packed.length packed <> len then
+                QCheck.Test.fail_report "length mismatch";
+              for i = 0 to len - 1 do
+                if F.Packed.block_addr packed i <> F.View.block_addr view i
+                then QCheck.Test.fail_reportf "addr mismatch at %d" i;
+                if F.Packed.block_size packed i <> F.View.block_size view i
+                then QCheck.Test.fail_reportf "size mismatch at %d" i;
+                if F.Packed.taken packed i <> F.View.taken view i then
+                  QCheck.Test.fail_reportf "taken mismatch at %d" i;
+                if F.Packed.has_branch packed i <> F.View.has_branch view i
+                then QCheck.Test.fail_reportf "branch mismatch at %d" i;
+                if F.Packed.is_cond packed i <> F.View.is_cond view i then
+                  QCheck.Test.fail_reportf "cond mismatch at %d" i
+              done;
+              if F.Packed.total_instrs packed <> F.View.total_instrs view then
+                QCheck.Test.fail_report "total_instrs mismatch";
+              if F.Packed.taken_branches packed <> F.View.taken_branches view
+              then QCheck.Test.fail_report "taken_branches mismatch")
+            [ F.View.pack view; F.Packed.compile prog layout rec_ ])
+        [ L.Original.layout prog; random_layout prog layout_seed ];
+      true)
+
+(* Packed and naive replay must be result-identical — engine results and
+   i-cache statistics — on every hardware variant of Table 3/4. *)
+let test_packed_naive_engine_equal () =
+  let pl = Lazy.force fixture in
+  let prog = pl.Stc_core.Pipeline.program in
+  List.iter
+    (fun layout ->
+      let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+      let packed = F.View.pack view in
+      let variants =
+        [
+          ("ideal", None, false);
+          ("direct", Some (fun () -> Stc_cachesim.Icache.create ~size_bytes:8192 ()), false);
+          ("2-way", Some (fun () -> Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:8192 ()), false);
+          ("victim", Some (fun () -> Stc_cachesim.Icache.create ~victim_lines:16 ~size_bytes:8192 ()), false);
+          ("trace-cache", Some (fun () -> Stc_cachesim.Icache.create ~size_bytes:8192 ()), true);
+        ]
+      in
+      List.iter
+        (fun (name, mk_icache, with_tc) ->
+          let ic_naive = Option.map (fun mk -> mk ()) mk_icache in
+          let ic_packed = Option.map (fun mk -> mk ()) mk_icache in
+          let tc_naive = if with_tc then Some (F.Tracecache.create ()) else None in
+          let tc_packed = if with_tc then Some (F.Tracecache.create ()) else None in
+          let mk_pred () =
+            { F.Engine.pred = F.Predictor.create (F.Predictor.Bimodal 256);
+              redirect_penalty = 3 }
+          in
+          let naive =
+            F.Engine.run_naive ?icache:ic_naive ?trace_cache:tc_naive
+              ~prediction:(mk_pred ()) view
+          in
+          let packed_r =
+            F.Engine.run_packed ?icache:ic_packed ?trace_cache:tc_packed
+              ~prediction:(mk_pred ()) packed
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: results equal" layout.L.Layout.name name)
+            true (naive = packed_r);
+          (match (ic_naive, ic_packed) with
+          | Some a, Some b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s: icache stats equal" layout.L.Layout.name
+                 name)
+              true
+              (Stc_cachesim.Icache.stats a = Stc_cachesim.Icache.stats b)
+          | _ -> ());
+          match (tc_naive, tc_packed) with
+          | Some a, Some b ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s: tc stats equal" layout.L.Layout.name name)
+              true
+              (F.Tracecache.lookups a = F.Tracecache.lookups b
+              && F.Tracecache.hits a = F.Tracecache.hits b)
+          | _ -> ())
+        variants)
+    [ L.Original.layout prog; L.Pettis_hansen.layout pl.Stc_core.Pipeline.profile ]
+
+let test_engine_run_equals_run_packed () =
+  (* the convenience [run view] must be the packed path, byte for byte *)
+  let prog, b0, b1, b2 = tiny () in
+  let layout = L.Original.layout prog in
+  let view = F.View.create prog layout (record [ b0; b1; b2; b0; b2 ]) in
+  let a = F.Engine.run view in
+  let b = F.Engine.run_packed (F.View.pack view) in
+  Alcotest.(check bool) "equal" true (a = b)
+
 let suite =
   [
     Alcotest.test_case "ideal single window" `Quick test_ideal_single_window;
@@ -201,4 +374,8 @@ let suite =
       test_trace_cache_improves;
     Alcotest.test_case "trace construction deterministic" `Quick
       test_tc_build_trace_deterministic;
+    Alcotest.test_case "packed = naive engine (5 variants)" `Quick
+      test_packed_naive_engine_equal;
+    Alcotest.test_case "run = run_packed" `Quick test_engine_run_equals_run_packed;
+    QCheck_alcotest.to_alcotest prop_packed_agrees_with_view;
   ]
