@@ -19,12 +19,21 @@
                                  only, instead of packed + naive baseline
      --metrics FILE            — export run metrics as JSONL to FILE
      --progress                — rate/ETA progress lines on stderr
+     --store DIR               — artifact store for the pipeline and the
+                                 simulation grids (see Stc_store)
 
    The [fetch] part is the fetch-replay microbench: it times the same
    simulation cells through Engine.run_packed and Engine.run_naive,
    checks the results are identical, prints blocks/sec and the packed
    speedup (plus a --jobs N parallel replay), and writes the numbers to
-   BENCH_fetch.json. *)
+   BENCH_fetch.json.
+
+   The [store] part is the artifact-store macrobench: it runs the full
+   pipeline + Table 3/4 grid twice against the same store — once cold,
+   once warm — checks the rows are identical, prints the cold/warm wall
+   times and writes them to BENCH_store.json. Without --store it uses a
+   fresh temporary store (removed afterwards) so the cold pass really is
+   cold. *)
 
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
@@ -40,6 +49,7 @@ let parse_args () =
   and metrics = ref None
   and progress = ref false
   and naive = ref false
+  and store = ref None
   and parts = ref [] in
   let rec go = function
     | [] -> ()
@@ -64,14 +74,25 @@ let parse_args () =
     | "--progress" :: rest ->
       progress := true;
       go rest
+    | "--store" :: v :: rest ->
+      store := Some v;
+      go rest
     | part :: rest ->
       parts := part :: !parts;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!quick, !scale, !seed, !jobs, !metrics, !progress, !naive, List.rev !parts)
+  ( !quick,
+    !scale,
+    !seed,
+    !jobs,
+    !metrics,
+    !progress,
+    !naive,
+    !store,
+    List.rev !parts )
 
-let quick, scale, seed, jobs, metrics_file, progress, naive, parts =
+let quick, scale, seed, jobs, metrics_file, progress, naive, store, parts =
   parse_args ()
 
 (* Fail on an unwritable --metrics path before the run, not after it. *)
@@ -95,7 +116,8 @@ let ctx =
     Run.default |> Run.with_metrics registry |> Run.with_progress progress
     |> Run.with_jobs jobs
   in
-  match seed with Some s -> Run.with_seed s c | None -> c
+  let c = match seed with Some s -> Run.with_seed s c | None -> c in
+  match store with Some dir -> Run.with_store dir c | None -> c
 
 let pipeline =
   lazy
@@ -395,6 +417,77 @@ let fetch_bench () =
   close_out oc;
   Printf.printf "  [fetch] BENCH_fetch.json written\n\n%!"
 
+(* ---------- artifact-store macrobench (cold vs warm) ---------- *)
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+(* Runs the whole pipeline + Table 3/4 grid twice against one store
+   directory and reports the warm/cold wall-clock ratio. The rows must be
+   identical — the store is a cache, not an approximation. Without
+   --store the pass uses (and then removes) a private temporary store, so
+   the first run is guaranteed cold and the ratio is asserted >= 2. *)
+let store_bench () =
+  section "Artifact store (cold vs warm)";
+  let dir, fresh =
+    match store with
+    | Some d -> (d, false)
+    | None -> (Printf.sprintf "_bench_store.%d" (Unix.getpid ()), true)
+  in
+  let config =
+    let c = if quick then Pipeline.quick_config else Pipeline.default_config in
+    match scale with Some sf -> { c with Pipeline.sf } | None -> c
+  in
+  (* each pass gets its own metrics-free ctx so the global registry (and
+     any --metrics export) is not polluted with a duplicate run *)
+  let run_once () =
+    let c =
+      Run.default |> Run.with_progress progress |> Run.with_jobs jobs
+      |> Run.with_store dir
+    in
+    let c = match seed with Some s -> Run.with_seed s c | None -> c in
+    let t0 = Unix.gettimeofday () in
+    let pl = Pipeline.run ~ctx:c ~config () in
+    let rows = E.simulate ~ctx:c pl in
+    (rows, Unix.gettimeofday () -. t0)
+  in
+  let cold_rows, cold_wall = run_once () in
+  let warm_rows, warm_wall = run_once () in
+  let identical = cold_rows = warm_rows in
+  let speedup = cold_wall /. warm_wall in
+  Printf.printf "  cold: %6.2fs\n%!" cold_wall;
+  Printf.printf "  warm: %6.2fs  (%.1fx, rows %s)\n%!" warm_wall speedup
+    (if identical then "identical" else "DIFFER (BUG)");
+  if not identical then begin
+    Printf.eprintf "bench store: warm rows differ from cold rows\n";
+    exit 1
+  end;
+  if fresh && speedup < 2.0 then begin
+    Printf.eprintf "bench store: warm run only %.2fx faster (expected >= 2)\n"
+      speedup;
+    exit 1
+  end;
+  let oc = open_out "BENCH_store.json" in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("cold_wall_s", J.Float cold_wall);
+            ("warm_wall_s", J.Float warm_wall);
+            ("speedup", J.Float speedup);
+            ("rows", J.Int (List.length cold_rows));
+            ("jobs", J.Int jobs);
+            ("fresh_store", J.Bool fresh);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  [store] BENCH_store.json written\n\n%!";
+  if fresh then rm_rf dir
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -475,6 +568,7 @@ let micro () =
 let () =
   run_tables ();
   if wants "fetch" && parts <> [] then fetch_bench ();
+  if wants "store" && parts <> [] then store_bench ();
   if wants "micro" then micro ();
   match metrics_file with
   | Some path ->

@@ -12,13 +12,15 @@ let pipeline_config quick sf frames =
   { base with Pipeline.frames }
 
 (* --seed is applied by Pipeline.run through Run.ctx (Pipeline.seeded);
-   --jobs parallelizes the simulation grids without changing any output. *)
-let make_ctx reg progress seed jobs =
+   --jobs parallelizes the simulation grids without changing any output,
+   and --store makes reruns consult the artifact cache. *)
+let make_ctx reg progress seed jobs store =
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_progress progress
     |> Run.with_jobs jobs
   in
-  match seed with Some s -> Run.with_seed s ctx | None -> ctx
+  let ctx = match seed with Some s -> Run.with_seed s ctx | None -> ctx in
+  match store with Some dir -> Run.with_store dir ctx | None -> ctx
 
 let default_jobs = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -84,6 +86,19 @@ let progress_arg =
     & info [ "progress" ]
         ~doc:"Report event rate (and ETA where known) on stderr.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Cache recorded traces, layouts and simulation results in \
+           $(docv) (created if missing), keyed by content, and reuse them \
+           on later runs. A warm rerun prints the same tables and exports \
+           the same metrics (minus store.* counters) in a fraction of the \
+           time; stale or damaged entries are recomputed, never trusted. \
+           Inspect with tools/store_inspect.")
+
 (* Fail on an unwritable --metrics path before the run, not after it. *)
 let check_metrics_path = function
   | None -> ()
@@ -108,6 +123,22 @@ let setup ~ctx quick sf frames =
     (Stc_trace.Recorder.length pl.Pipeline.test);
   pl
 
+(* One-line cache summary, only when --store was given. *)
+let report_store reg store =
+  match store with
+  | None -> ()
+  | Some dir ->
+    let counters = Obs.Registry.counters reg in
+    let get name = Option.value ~default:0 (List.assoc_opt name counters) in
+    Printf.printf
+      "\nStore %s: %d hits, %d misses, %d writes (%d corrupt, %d KB read, %d \
+       KB written)\n\
+       %!"
+      dir (get "store.hits") (get "store.misses") (get "store.writes")
+      (get "store.corrupt")
+      (get "store.bytes_read" / 1024)
+      (get "store.bytes_written" / 1024)
+
 let finish_metrics reg metrics_file =
   match metrics_file with
   | None -> ()
@@ -118,10 +149,10 @@ let finish_metrics reg metrics_file =
       path
 
 let characterize_cmd =
-  let run quick sf seed frames jobs metrics progress =
+  let run quick sf seed frames jobs store metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs in
+    let ctx = make_ctx reg progress seed jobs store in
     let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
@@ -130,18 +161,19 @@ let characterize_cmd =
     E.print_reuse (E.reuse pl);
     print_newline ();
     E.print_table2 (E.table2 pl);
+    report_store reg store;
     finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Section 4: Table 1, Figure 2, reuse, Table 2.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ progress_arg)
 
-let simulate_run quick sf seed frames jobs exec branch metrics progress =
+let simulate_run quick sf seed frames jobs store exec branch metrics progress =
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
-  let ctx = make_ctx reg progress seed jobs in
+  let ctx = make_ctx reg progress seed jobs store in
   let pl = setup ~ctx quick sf frames in
   Printf.printf "Simulating the full Table 3 / Table 4 grid (%d jobs)...\n%!"
     ctx.Run.jobs;
@@ -154,36 +186,38 @@ let simulate_run quick sf seed frames jobs exec branch metrics progress =
   E.print_table4 rows;
   print_newline ();
   E.print_sequentiality rows;
+  report_store reg store;
   finish_metrics reg metrics
 
 let simulate_term =
   Term.(
     const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-    $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
+    $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames jobs metrics progress =
+  let run quick sf seed frames jobs store metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs in
+    let ctx = make_ctx reg progress seed jobs store in
     let pl = setup ~ctx quick sf frames in
     E.print_ablation (E.ablation ~ctx pl);
+    report_store reg store;
     finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ progress_arg)
 
 let extensions_cmd =
-  let run quick sf seed frames jobs metrics progress =
+  let run quick sf seed frames jobs store metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs in
+    let ctx = make_ctx reg progress seed jobs store in
     let pl = setup ~ctx quick sf frames in
     Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining ~ctx pl);
     print_newline ();
@@ -201,6 +235,7 @@ let extensions_cmd =
     print_newline ();
     Stc_core.Extensions.print_associativity
       (Stc_core.Extensions.associativity ~ctx pl);
+    report_store reg store;
     finish_metrics reg metrics
   in
   Cmd.v
@@ -209,13 +244,13 @@ let extensions_cmd =
          "Section 8 future work: inlining, OLTP, branch prediction,           auto-tuning.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ progress_arg)
 
 let all_cmd =
-  let run quick sf seed frames jobs exec branch metrics progress =
+  let run quick sf seed frames jobs store exec branch metrics progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs in
+    let ctx = make_ctx reg progress seed jobs store in
     let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
@@ -231,13 +266,14 @@ let all_cmd =
     E.print_table4 rows;
     print_newline ();
     E.print_sequentiality rows;
+    report_store reg store;
     finish_metrics reg metrics
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
 
 let () =
   let info =

@@ -162,17 +162,19 @@ type row = {
 let engine_config (c : sim_config) =
   F.Engine.Config.make ~line_bytes:c.line_bytes ~miss_penalty:c.miss_penalty ()
 
-let emit_cell reg ~table (row : row) (r : F.Engine.result) icache =
+(* The cell's i-cache is fresh, so the engine result's counters equal the
+   cache's own statistics snapshot; deriving the event fields from the
+   result lets a store hit (which never builds the cache) emit the exact
+   record a simulation would have. *)
+let emit_cell reg ~table (row : row) (r : F.Engine.result) ~has_icache =
   let open Stc_obs.Json in
   let icache_fields =
-    match icache with
-    | None -> []
-    | Some c ->
-      let s = Stc_cachesim.Icache.stats c in
+    if not has_icache then []
+    else
       [
-        ("icache_accesses", Int s.Stc_cachesim.Icache.s_accesses);
-        ("icache_misses", Int s.Stc_cachesim.Icache.s_misses);
-        ("icache_victim_hits", Int s.Stc_cachesim.Icache.s_victim_hits);
+        ("icache_accesses", Int r.F.Engine.icache_accesses);
+        ("icache_misses", Int r.F.Engine.icache_misses);
+        ("icache_victim_hits", Int r.F.Engine.icache_victim_hits);
       ]
   in
   Stc_obs.Registry.event reg ~kind:(table ^ ".cell")
@@ -262,32 +264,74 @@ module Pcache = struct
     Mutex.unlock t.m
 end
 
-let exec_cell ~metrics ~pcache cell =
+(* What determines a cell's engine result beyond the (program, trace,
+   layout, engine-config) fingerprints: the cache geometry implied by the
+   variant and the trace-cache size. *)
+let cell_key ~prog_fp ~trace_fp cell =
+  let c = cell.c_config in
+  Stc_store.Key.of_parts
+    [
+      "experiments-cell";
+      prog_fp;
+      trace_fp;
+      Stc_store.Fp.layout cell.c_layout;
+      Stc_store.Fp.engine_config (engine_config c);
+      variant_name cell.c_variant;
+      string_of_int cell.c_cache_kb;
+      string_of_int c.tc_entries;
+    ]
+
+let exec_cell ~metrics ~pcache ~store cell =
   let c = cell.c_config in
   let cache_kb = cell.c_cache_kb in
-  let packed = Pcache.acquire pcache cell.c_layout in
-  let icache =
-    match cell.c_variant with
-    | Ideal | Tc_ideal -> None
-    | Direct | Trace_cache ->
-      Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
-    | Two_way ->
-      Some (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
-    | Victim ->
-      Some
-        (Stc_cachesim.Icache.create ~victim_lines:16
-           ~size_bytes:(cache_kb * 1024) ())
-  in
-  let trace_cache =
-    match cell.c_variant with
-    | Trace_cache | Tc_ideal -> Some (F.Tracecache.create ~entries:c.tc_entries ())
-    | Direct | Two_way | Victim | Ideal -> None
-  in
-  let ctx = Option.map (fun reg -> Run.(with_metrics reg default)) metrics in
-  let r =
+  let simulate () =
+    let packed = Pcache.acquire pcache cell.c_layout in
+    let icache =
+      match cell.c_variant with
+      | Ideal | Tc_ideal -> None
+      | Direct | Trace_cache ->
+        Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
+      | Two_way ->
+        Some
+          (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
+      | Victim ->
+        Some
+          (Stc_cachesim.Icache.create ~victim_lines:16
+             ~size_bytes:(cache_kb * 1024) ())
+    in
+    let trace_cache =
+      match cell.c_variant with
+      | Trace_cache | Tc_ideal ->
+        Some (F.Tracecache.create ~entries:c.tc_entries ())
+      | Direct | Two_way | Victim | Ideal -> None
+    in
+    let ctx = Option.map (fun reg -> Run.(with_metrics reg default)) metrics in
     F.Engine.run_packed ?ctx ~config:(engine_config c) ?icache ?trace_cache
       packed
   in
+  let r =
+    match store with
+    | None -> simulate ()
+    | Some (dir, prog_fp, trace_fp) -> (
+      (* The handle is opened against this cell's registry (a per-cell
+         shard under a pool), so store counters merge deterministically
+         like every other metric. *)
+      let st = Stc_store.open_ ?metrics dir in
+      let key = cell_key ~prog_fp ~trace_fp cell in
+      match Stc_store.Result.load st ~key with
+      | Some r ->
+        (match metrics with
+        | Some reg -> F.Engine.publish reg r
+        | None -> ());
+        r
+      | None ->
+        let r = simulate () in
+        Stc_store.Result.save st ~key r;
+        r)
+  in
+  (* Unconditional (even on a store hit, where [acquire] never ran):
+     refcounts were planned per cell, so every cell must tick one off for
+     a partially-warm grid to still drop compiled images promptly. *)
   Pcache.release pcache cell.c_layout;
   let row =
     {
@@ -306,7 +350,10 @@ let exec_cell ~metrics ~pcache cell =
     }
   in
   (match metrics with
-  | Some reg -> emit_cell reg ~table:cell.c_table row r icache
+  | Some reg ->
+    emit_cell reg ~table:cell.c_table row r
+      ~has_icache:
+        (match cell.c_variant with Ideal | Tc_ideal -> false | _ -> true)
   | None -> ());
   row
 
@@ -316,20 +363,29 @@ let exec_cell ~metrics ~pcache cell =
    are merged into the main registry in input order after the join, so the
    exported counters and [*.cell] event sequence are identical at any job
    count. *)
-let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
+let exec_cells ~(ctx : Run.ctx) ~label (pl : Pipeline.t) cells =
   let cells = Array.of_list cells in
   let n = Array.length cells in
   let pcache = Pcache.of_cells pl cells in
+  (* Fingerprint the shared inputs once per grid, not once per cell: the
+     test-trace hash walks millions of entries. *)
+  let store =
+    Option.map
+      (fun dir ->
+        ( dir,
+          Stc_store.Fp.program pl.Pipeline.program,
+          Stc_store.Fp.trace pl.Pipeline.test ))
+      ctx.Run.store
+  in
   let reporter = Run.reporter ctx ~interval:10 ~total:n ~label () in
   let step () =
-    (match reporter with Some p -> Stc_obs.Progress.step p | None -> ());
-    on_cell ()
+    match reporter with Some p -> Stc_obs.Progress.step p | None -> ()
   in
   let rows =
     if ctx.Run.jobs <= 1 then
       Array.map
         (fun c ->
-          let r = exec_cell ~metrics:ctx.Run.metrics ~pcache c in
+          let r = exec_cell ~metrics:ctx.Run.metrics ~pcache ~store c in
           step ();
           r)
         cells
@@ -358,7 +414,7 @@ let exec_cells ~(ctx : Run.ctx) ~on_cell ~label (pl : Pipeline.t) cells =
             let shard =
               Option.map (fun _ -> Stc_obs.Registry.create ()) ctx.Run.metrics
             in
-            let r = (exec_cell ~metrics:shard ~pcache c, shard) in
+            let r = (exec_cell ~metrics:shard ~pcache ~store c, shard) in
             Atomic.incr completed;
             if Domain.self () = caller then drain ();
             r)
@@ -384,14 +440,35 @@ let stc_params (c : sim_config) ~cache_bytes ~cfa_bytes =
   L.Stc.params ~exec_threshold:c.exec_threshold
     ~branch_threshold:c.branch_threshold ~cache_bytes ~cfa_bytes ()
 
+(* Store-backed layout construction for the serial planning prefixes.
+   Layouts are pure functions of the profile (program + training trace)
+   and the algorithm parameters, so those make the key; [Original] is an
+   identity pass and is never cached. *)
+let layout_cache ~ctx (pl : Pipeline.t) =
+  match Stc_store.of_ctx ctx with
+  | None -> fun ~algo:_ ~params:_ f -> f ()
+  | Some st ->
+    let prog_fp = Stc_store.Fp.program pl.Pipeline.program in
+    let train_fp = Stc_store.Fp.trace pl.Pipeline.training in
+    fun ~algo ~params f ->
+      let key =
+        Stc_store.Key.of_parts ([ "layout"; prog_fp; train_fp; algo ] @ params)
+      in
+      Stc_store.Layout.cached (Some st) ~key f
+
 (* The serial prefix: build every layout (cheap, and Profile memoizes a
    successor cache that must not be raced) and list the grid's cells in
    the exact order the serial implementation visited them. *)
 let plan_simulate ~ctx config (pl : Pipeline.t) =
   let span name f = Run.span ctx name f in
+  let cached_layout = layout_cache ~ctx pl in
   let profile = pl.Pipeline.profile in
   let orig = span "layout-original" (fun () -> L.Original.layout pl.Pipeline.program) in
-  let ph = span "layout-pettis-hansen" (fun () -> L.Pettis_hansen.layout profile) in
+  let ph =
+    span "layout-pettis-hansen" (fun () ->
+        cached_layout ~algo:"pettis-hansen" ~params:[] (fun () ->
+            L.Pettis_hansen.layout profile))
+  in
   let cells = ref [] in
   let add layout variant ~cache_kb ~cfa_kb =
     cells :=
@@ -422,20 +499,31 @@ let plan_simulate ~ctx config (pl : Pipeline.t) =
         (fun cfa ->
           let cfa_bytes = cfa * 1024 in
           let params = stc_params config ~cache_bytes ~cfa_bytes in
+          let thresholds =
+            [
+              string_of_int config.exec_threshold;
+              string_of_float config.branch_threshold;
+              string_of_int cache_bytes;
+              string_of_int cfa_bytes;
+            ]
+          in
           let torr =
             span "layout-torrellas" (fun () ->
-                L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-                  ~cache_bytes ~cfa_bytes)
+                cached_layout ~algo:"torrellas" ~params:thresholds (fun () ->
+                    L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
+                      ~cache_bytes ~cfa_bytes))
           in
           let auto =
             span "layout-stc" (fun () ->
-                L.Stc.layout profile ~name:"auto" ~params
-                  ~seeds:(L.Stc.auto_seeds profile))
+                cached_layout ~algo:"stc-auto" ~params:thresholds (fun () ->
+                    L.Stc.layout profile ~name:"auto" ~params
+                      ~seeds:(L.Stc.auto_seeds profile)))
           in
           let ops =
             span "layout-stc" (fun () ->
-                L.Stc.layout profile ~name:"ops" ~params
-                  ~seeds:(L.Stc.ops_seeds profile))
+                cached_layout ~algo:"stc-ops" ~params:thresholds (fun () ->
+                    L.Stc.layout profile ~name:"ops" ~params
+                      ~seeds:(L.Stc.ops_seeds profile)))
           in
           let cfa_kb = Some cfa in
           List.iter
@@ -450,19 +538,9 @@ let plan_simulate ~ctx config (pl : Pipeline.t) =
     config.grid;
   List.rev !cells
 
-let simulate_gen ~ctx ~on_cell ~config pl =
-  Run.span ctx "simulate-grid" @@ fun () ->
-  exec_cells ~ctx ~on_cell ~label:"simulate" pl (plan_simulate ~ctx config pl)
-
 let simulate ?(ctx = Run.default) ?(config = default_sim_config) pl =
-  simulate_gen ~ctx ~on_cell:(fun () -> ()) ~config pl
-
-let simulate_legacy ?metrics ?progress ?(config = default_sim_config) pl =
-  let ctx = { Run.default with Run.metrics } in
-  let on_cell () =
-    match progress with Some p -> Stc_obs.Progress.step p | None -> ()
-  in
-  simulate_gen ~ctx ~on_cell ~config pl
+  Run.span ctx "simulate-grid" @@ fun () ->
+  exec_cells ~ctx ~label:"simulate" pl (plan_simulate ~ctx config pl)
 
 (* ---------- table rendering ---------- *)
 
@@ -661,6 +739,7 @@ type ablation_row = {
 let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
     (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
+  let cached_layout = layout_cache ~ctx pl in
   (* serial prefix: one ops layout per sweep point *)
   let metas = ref [] and cells = ref [] in
   List.iter
@@ -682,8 +761,17 @@ let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
               in
               let ops =
                 Run.span ctx "layout-stc" (fun () ->
-                    L.Stc.layout profile ~name:"ops" ~params
-                      ~seeds:(L.Stc.ops_seeds profile))
+                    cached_layout ~algo:"stc-ops"
+                      ~params:
+                        [
+                          string_of_int a_exec;
+                          string_of_float a_branch;
+                          string_of_int (cache_kb * 1024);
+                          string_of_int (a_cfa_kb * 1024);
+                        ]
+                      (fun () ->
+                        L.Stc.layout profile ~name:"ops" ~params
+                          ~seeds:(L.Stc.ops_seeds profile)))
               in
               metas := (a_exec, a_branch, a_cfa_kb) :: !metas;
               cells :=
@@ -699,7 +787,7 @@ let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
             cfa_kbs)
         branch_thresholds)
     exec_thresholds;
-  let rows = exec_cells ~ctx ~on_cell:(fun () -> ()) ~label:"ablation" pl (List.rev !cells) in
+  let rows = exec_cells ~ctx ~label:"ablation" pl (List.rev !cells) in
   List.map2
     (fun (a_exec, a_branch, a_cfa_kb) (r : row) ->
       {
@@ -715,13 +803,6 @@ let ablation ?(ctx = Run.default) ?(cache_kb = 32)
     ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
     ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
     (pl : Pipeline.t) =
-  ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
-
-let ablation_legacy ?metrics ?(cache_kb = 32)
-    ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
-    ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
-    (pl : Pipeline.t) =
-  let ctx = { Run.default with Run.metrics } in
   ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
 
 let print_ablation rows =

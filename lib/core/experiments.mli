@@ -80,18 +80,14 @@ val simulate : ?ctx:Run.ctx -> ?config:sim_config -> Pipeline.t -> row list
     CFA-less layouts). The registry contents — counter totals and event
     order included — are identical at any job count: parallel cells record
     into per-cell shards merged in input order. With [ctx.progress], a
-    "simulate" progress line is emitted every 10 cells. *)
+    "simulate" progress line is emitted every 10 cells.
 
-val simulate_legacy :
-  ?metrics:Stc_obs.Registry.t ->
-  ?progress:Stc_obs.Progress.t ->
-  ?config:sim_config ->
-  Pipeline.t ->
-  row list
-[@@ocaml.deprecated
-  "use Experiments.simulate ?ctx — Run.ctx carries metrics and jobs"]
-(** The pre-[Run.ctx] call shape; always serial. [?progress] is stepped
-    once per cell. *)
+    With [ctx.store], the serial prefix loads previously built layouts by
+    content key, and each cell consults the store for its engine result
+    before simulating (and saves it after). A result hit re-registers the
+    [engine.*] counters ({!Stc_fetch.Engine.publish}) and emits the same
+    [table34.cell] event a simulation would, so apart from the [store.*]
+    counters a warm run's registry is byte-identical to a cold one. *)
 
 val print_table3 : row list -> unit
 
@@ -121,18 +117,8 @@ val ablation :
 (** Sweep the STC parameters (ops seeds) at one cache size. Layout
     construction is a serial prefix; sweep points run on [ctx.jobs]
     domains with the same determinism guarantee as {!simulate}. With
-    [ctx.metrics], each sweep point emits one [ablation.cell] event. *)
-
-val ablation_legacy :
-  ?metrics:Stc_obs.Registry.t ->
-  ?cache_kb:int ->
-  ?exec_thresholds:int list ->
-  ?branch_thresholds:float list ->
-  ?cfa_kbs:int list ->
-  Pipeline.t ->
-  ablation_row list
-[@@ocaml.deprecated
-  "use Experiments.ablation ?ctx — Run.ctx carries metrics and jobs"]
-(** The pre-[Run.ctx] call shape; always serial. *)
+    [ctx.metrics], each sweep point emits one [ablation.cell] event.
+    [ctx.store] caches the swept layouts and per-point engine results
+    exactly as in {!simulate}. *)
 
 val print_ablation : ablation_row list -> unit

@@ -3,10 +3,63 @@ module F = Stc_fetch
 module P = Stc_profile
 module Tbl = Stc_util.Tbl
 
-let fetch_run ~ctx program layout trace ~cache_kb ?prediction () =
-  let view = F.View.create program layout trace in
-  let icache = Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) () in
-  F.Engine.run ~ctx ~icache ?prediction view
+(* Every extension study funnels its engine runs through here: one
+   (program, layout, trace) replay against a fresh [cache_kb] i-cache of
+   [assoc] ways. With [ctx.store], the compiled trace image and — for
+   prediction-free runs — the whole engine result are consulted in the
+   artifact store first. Prediction runs always replay (a stored result
+   cannot reconstruct the predictor's accuracy state), which is exactly
+   where the cached packed image pays off. *)
+let fetch_run ~ctx ?(assoc = 1) ?config program layout trace ~cache_kb
+    ?prediction () =
+  let config =
+    match config with Some c -> c | None -> F.Engine.Config.default
+  in
+  let icache () =
+    Stc_cachesim.Icache.create ~assoc ~size_bytes:(cache_kb * 1024) ()
+  in
+  match Stc_store.of_ctx ctx with
+  | None ->
+    F.Engine.run ~ctx ~config ~icache:(icache ()) ?prediction
+      (F.View.create program layout trace)
+  | Some st -> (
+    let prog_fp = Stc_store.Fp.program program in
+    let lay_fp = Stc_store.Fp.layout layout in
+    let trace_fp = Stc_store.Fp.trace trace in
+    let packed () =
+      let key =
+        Stc_store.Key.of_parts [ "packed"; prog_fp; lay_fp; trace_fp ]
+      in
+      Stc_store.Packed.cached (Some st) ~key (fun () ->
+          F.View.pack (F.View.create program layout trace))
+    in
+    match prediction with
+    | Some _ ->
+      F.Engine.run_packed ~ctx ~config ~icache:(icache ()) ?prediction
+        (packed ())
+    | None -> (
+      let key =
+        Stc_store.Key.of_parts
+          [
+            "engine-result";
+            prog_fp;
+            lay_fp;
+            trace_fp;
+            Stc_store.Fp.engine_config config;
+            string_of_int assoc;
+            string_of_int cache_kb;
+          ]
+      in
+      match Stc_store.Result.load st ~key with
+      | Some r ->
+        (match ctx.Run.metrics with
+        | Some reg -> F.Engine.publish reg r
+        | None -> ());
+        r
+      | None ->
+        let r = F.Engine.run_packed ~ctx ~config ~icache:(icache ()) (packed ()) in
+        Stc_store.Result.save st ~key r;
+        r))
 
 (* ---------- inlining ---------- *)
 
@@ -276,11 +329,8 @@ let per_query ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
         let section = Stc_trace.Recorder.create () in
         Stc_trace.Recorder.replay_range pl.Pipeline.test ~lo ~hi
           (Stc_trace.Recorder.sink section);
-        let view = F.View.create prog layout section in
-        let icache =
-          Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
-        in
-        F.Engine.miss_rate_pct (F.Engine.run ~ctx ~icache view)
+        F.Engine.miss_rate_pct
+          (fetch_run ~ctx prog layout section ~cache_kb ())
       in
       { q_name = name; q_blocks = hi - lo; q_miss_orig = miss orig; q_miss_ops = miss ops })
     ranges
@@ -327,12 +377,10 @@ let fetch_units ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
     (fun layout ->
       List.map
         (fun s_max_branches ->
-          let view = F.View.create prog layout pl.Pipeline.test in
-          let icache =
-            Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
-          in
           let config = F.Engine.Config.make ~max_branches:s_max_branches () in
-          let r = F.Engine.run ~ctx ~config ~icache view in
+          let r =
+            fetch_run ~ctx ~config prog layout pl.Pipeline.test ~cache_kb ()
+          in
           { s_layout = layout.L.Layout.name; s_max_branches; s_ipc = F.Engine.bandwidth r })
         [ 1; 2; 3 ])
     layouts
@@ -378,12 +426,10 @@ let associativity ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
     (fun layout ->
       List.map
         (fun a_assoc ->
-          let view = F.View.create prog layout pl.Pipeline.test in
-          let icache =
-            Stc_cachesim.Icache.create ~assoc:a_assoc
-              ~size_bytes:(cache_kb * 1024) ()
+          let r =
+            fetch_run ~ctx ~assoc:a_assoc prog layout pl.Pipeline.test
+              ~cache_kb ()
           in
-          let r = F.Engine.run ~ctx ~icache view in
           {
             a_layout = layout.L.Layout.name;
             a_assoc;

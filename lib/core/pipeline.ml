@@ -55,6 +55,45 @@ let seeded seed (config : config) =
     kernel = { config.kernel with Kernel.seed = Int64.of_int (seed + 34) };
   }
 
+let config_fingerprint (config : config) =
+  let open Stc_util.Fnv in
+  let k = config.kernel in
+  let h = int64 empty k.Kernel.seed in
+  let h = int h k.Kernel.n_l2 in
+  let h = int h k.Kernel.n_l3 in
+  let h = int h k.Kernel.n_l4 in
+  let h = int h k.Kernel.n_parser in
+  let h = int h k.Kernel.n_optimizer in
+  let h = int h k.Kernel.n_filler in
+  let h = int h k.Kernel.filler_instrs in
+  let h = float h config.sf in
+  let h = int64 h config.data_seed in
+  let h = int64 h config.walker_seed in
+  let h = int h config.frames in
+  let queries h qs = List.fold_left int (int h (List.length qs)) qs in
+  let h = queries h Stc_workload.Queries.training_set in
+  let h = queries h Stc_workload.Queries.test_set in
+  to_hex h
+
+(* On a trace-artifact hit the walker never runs, so re-register the
+   counters a recording would have exported: the walker's block count is
+   the trace length and its instruction count follows from the program's
+   static block sizes ([Recorder.of_ids] already restored the trace's
+   own counters). *)
+let attach_warm_metrics reg ~prefix program recorder =
+  let ids = Recorder.raw_ids recorder in
+  let n = Recorder.length recorder in
+  let blocks = program.Stc_cfg.Program.blocks in
+  let instrs = ref 0 in
+  for i = 0 to n - 1 do
+    instrs := !instrs + blocks.(ids.(i)).Stc_cfg.Block.size
+  done;
+  let module Reg = Stc_obs.Registry in
+  let module Counter = Stc_obs.Metric.Counter in
+  Counter.add (Reg.counter reg (prefix ^ "walker.blocks")) n;
+  Counter.add (Reg.counter reg (prefix ^ "walker.instrs")) !instrs;
+  Recorder.attach_metrics recorder reg ~prefix
+
 let run ?(ctx = Run.default) ?(config = default_config) () =
   let config =
     match ctx.Run.seed with Some s -> seeded s config | None -> config
@@ -62,6 +101,7 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
   let metrics = ctx.Run.metrics in
   let span name f = Run.span ctx name f in
   let reporter label = Run.reporter ctx ~label () in
+  let store = Stc_store.of_ctx ctx in
   let kernel = span "kernel-build" (fun () -> Kernel.build ~config:config.kernel ()) in
   let data =
     span "datagen" (fun () ->
@@ -75,21 +115,47 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
     span "db-load" (fun () ->
         Database.load ~frames:config.frames data ~kind:Database.Hash_db)
   in
+  (* Trace keys cover the full config fingerprint plus the built
+     program's structure, so a kernel-generator change invalidates
+     recorded traces even when the config did not move. *)
+  let cfg_fp = config_fingerprint config in
+  let prog_fp = Stc_store.Fp.program kernel.Kernel.program in
+  let record which ~prefix ~walker_seed ~dbs ~queries =
+    span ("record-" ^ which) (fun () ->
+        let fresh () =
+          Stc_workload.Driver.record ?metrics ~prefix
+            ?progress:(reporter ("record-" ^ which))
+            ~kernel ~walker_seed ~dbs ~queries ()
+        in
+        match store with
+        | None -> fresh ()
+        | Some st -> (
+            let key =
+              Stc_store.Key.of_parts [ "pipeline-trace"; cfg_fp; prog_fp; which ]
+            in
+            match Stc_store.Trace.load st ~key with
+            | Some recorder ->
+                (match metrics with
+                | Some reg ->
+                    attach_warm_metrics reg ~prefix kernel.Kernel.program
+                      recorder
+                | None -> ());
+                recorder
+            | None ->
+                let recorder = fresh () in
+                Stc_store.Trace.save st ~key recorder;
+                recorder))
+  in
   let training =
-    span "record-training" (fun () ->
-        Stc_workload.Driver.record ?metrics ~prefix:"training."
-          ?progress:(reporter "record-training") ~kernel
-          ~walker_seed:config.walker_seed
-          ~dbs:[ ("btree", db_btree) ]
-          ~queries:Stc_workload.Queries.training_set ())
+    record "training" ~prefix:"training." ~walker_seed:config.walker_seed
+      ~dbs:[ ("btree", db_btree) ]
+      ~queries:Stc_workload.Queries.training_set
   in
   let test =
-    span "record-test" (fun () ->
-        Stc_workload.Driver.record ?metrics ~prefix:"test."
-          ?progress:(reporter "record-test") ~kernel
-          ~walker_seed:(Int64.add config.walker_seed 1L)
-          ~dbs:[ ("btree", db_btree); ("hash", db_hash) ]
-          ~queries:Stc_workload.Queries.test_set ())
+    record "test" ~prefix:"test."
+      ~walker_seed:(Int64.add config.walker_seed 1L)
+      ~dbs:[ ("btree", db_btree); ("hash", db_hash) ]
+      ~queries:Stc_workload.Queries.test_set
   in
   let profile = Profile.create kernel.Kernel.program in
   span "build-profile" (fun () ->
@@ -116,10 +182,6 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
     test;
     profile;
   }
-
-let run_legacy ?metrics ?(progress = false) ?(config = default_config) () =
-  let ctx = { Run.default with Run.metrics; progress } in
-  run ~ctx ~config ()
 
 let replay_test t f = Recorder.replay t.test f
 

@@ -39,6 +39,12 @@ val seeded : int -> config -> config
     construction [s + 34] (distinct offsets so the streams never
     coincide). This is what {!run} applies when [ctx.seed] is set. *)
 
+val config_fingerprint : config -> string
+(** Hex hash of every field that determines the recorded traces — kernel
+    shape and seed, scale factor, data/walker seeds, buffer frames, and
+    the training/test query sets. Artifact-store trace keys combine this
+    with the built program's {!Stc_store.Fp.program} fingerprint. *)
+
 val run : ?ctx:Run.ctx -> ?config:config -> unit -> t
 (** Build everything. With [ctx.metrics], each phase (kernel build, data
     generation, database load, trace recording, profile build) runs inside
@@ -46,13 +52,15 @@ val run : ?ctx:Run.ctx -> ?config:config -> unit -> t
     [training.*] / [test.*]. With [ctx.progress], trace recording reports
     rate on stderr. With [ctx.seed], [config] is first passed through
     {!seeded}. [ctx.jobs] is not read here — the pipeline is inherently
-    sequential; pass the same [ctx] on to {!Experiments.simulate}. *)
+    sequential; pass the same [ctx] on to {!Experiments.simulate}.
 
-val run_legacy :
-  ?metrics:Stc_obs.Registry.t -> ?progress:bool -> ?config:config -> unit -> t
-[@@ocaml.deprecated
-  "use Pipeline.run ?ctx — Run.ctx carries metrics/progress/seed"]
-(** The pre-[Run.ctx] call shape. *)
+    With [ctx.store], the training and test recordings are consulted in
+    the artifact store before being re-walked, and saved after a fresh
+    recording. A store hit re-registers the walker/trace counters with
+    the values a recording would have produced, so cold and warm runs
+    export identical metrics; kernel build, data generation and database
+    loading always run (databases are mutable inputs to later stages,
+    and their load cost is small next to trace recording). *)
 
 val replay_test : t -> (int -> unit) -> unit
 

@@ -46,16 +46,76 @@ let tune ?(ctx = Run.default) ?(cache_kb = 32) ?(space = default_space)
     (pl : Pipeline.t) =
   if space = [] then invalid_arg "Tuner.tune: empty candidate space";
   let candidates = Array.of_list space in
+  (* The store handle carries no registry on purpose (matching the
+     no-registry scoring below): candidate-space artifacts must not
+     perturb the exported [store.*] counters or warning events, and a
+     metrics-free handle is also safe to share across scoring domains. *)
+  let store = Option.map (fun dir -> Stc_store.open_ dir) ctx.Run.store in
+  let fps =
+    Option.map
+      (fun _ ->
+        ( Stc_store.Fp.program pl.Pipeline.program,
+          Stc_store.Fp.trace pl.Pipeline.training ))
+      store
+  in
   (* serial prefix: layout construction shares the profile's memo caches *)
-  let layouts = Array.map (layout_of pl ~cache_kb) candidates in
+  let build c =
+    match (store, fps) with
+    | Some st, Some (prog_fp, train_fp) ->
+      let key =
+        Stc_store.Key.of_parts
+          [
+            "layout";
+            prog_fp;
+            train_fp;
+            (match c.t_seeds with `Auto -> "stc-auto" | `Ops -> "stc-ops");
+            string_of_int c.t_exec;
+            string_of_float c.t_branch;
+            string_of_int (cache_kb * 1024);
+            string_of_int (c.t_cfa_kb * 1024);
+            (* the tuner names its layouts after the candidate, so they
+               must not alias the plain "auto"/"ops" layout entries *)
+            "tuned";
+          ]
+      in
+      Stc_store.Layout.cached (Some st) ~key (fun () ->
+          layout_of pl ~cache_kb c)
+    | _ -> layout_of pl ~cache_kb c
+  in
+  let layouts = Array.map build candidates in
   (* Scoring passes no registry even when [ctx.metrics] is set, so the
      exported engine counters do not depend on the candidate space or on
      [ctx.jobs] — only the winner's held-out evaluation is recorded (by
      the caller). *)
   let score layout =
-    let view = F.View.create pl.Pipeline.program layout pl.Pipeline.training in
-    let icache = Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) () in
-    F.Engine.bandwidth (F.Engine.run ~icache view)
+    let fresh () =
+      let view =
+        F.View.create pl.Pipeline.program layout pl.Pipeline.training
+      in
+      let icache =
+        Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()
+      in
+      F.Engine.run ~icache view
+    in
+    let r =
+      match (store, fps) with
+      | Some st, Some (prog_fp, train_fp) ->
+        let key =
+          Stc_store.Key.of_parts
+            [
+              "engine-result";
+              prog_fp;
+              Stc_store.Fp.layout layout;
+              train_fp;
+              Stc_store.Fp.engine_config F.Engine.Config.default;
+              "1";
+              string_of_int cache_kb;
+            ]
+        in
+        Stc_store.Result.cached (Some st) ~key fresh
+      | _ -> fresh ()
+    in
+    F.Engine.bandwidth r
   in
   let scores =
     if ctx.Run.jobs <= 1 then Array.map score layouts

@@ -17,8 +17,6 @@ type config = Config.t = {
 
 type prediction = { pred : Predictor.t; redirect_penalty : int }
 
-let default_config = Config.default
-
 type result = {
   instrs : int;
   cycles : int;
@@ -27,6 +25,7 @@ type result = {
   tc_cycles : int;
   icache_accesses : int;
   icache_misses : int;
+  icache_victim_hits : int;
   tc_lookups : int;
   tc_hits : int;
   taken_branches : int;
@@ -53,6 +52,7 @@ let publish reg r =
   add "tc_cycles" r.tc_cycles;
   add "icache_accesses" r.icache_accesses;
   add "icache_misses" r.icache_misses;
+  add "icache_victim_hits" r.icache_victim_hits;
   add "tc_lookups" r.tc_lookups;
   add "tc_hits" r.tc_hits;
   add "cond_branches" r.cond_branches;
@@ -190,12 +190,12 @@ let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
   (match trace_cache with
   | Some tc -> Tracecache.add_stats tc ~lookups:!tc_lookups ~hits:!tc_hits
   | None -> ());
-  let icache_accesses, icache_misses =
+  let icache_accesses, icache_misses, icache_victim_hits =
     match icache with
-    | None -> (0, 0)
+    | None -> (0, 0, 0)
     | Some c ->
       let s = Icache.stats c in
-      (s.Icache.s_accesses, s.Icache.s_misses)
+      (s.Icache.s_accesses, s.Icache.s_misses, s.Icache.s_victim_hits)
   in
   let r =
     {
@@ -206,6 +206,7 @@ let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
       tc_cycles = !tc_cycles;
       icache_accesses;
       icache_misses;
+      icache_victim_hits;
       tc_lookups =
         (match trace_cache with
         | None -> 0
@@ -323,13 +324,13 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
       | Some tc -> Tracecache.fill tc view pos
       | None -> ())
   done;
-  let icache_accesses, icache_misses =
+  let icache_accesses, icache_misses, icache_victim_hits =
     match icache with
-    | None -> (0, 0)
+    | None -> (0, 0, 0)
     | Some c ->
       (* one snapshot, not two separate reads *)
       let s = Icache.stats c in
-      (s.Icache.s_accesses, s.Icache.s_misses)
+      (s.Icache.s_accesses, s.Icache.s_misses, s.Icache.s_victim_hits)
   in
   let tc_lookups, tc_hits =
     match trace_cache with
@@ -345,6 +346,7 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
       tc_cycles = !tc_cycles;
       icache_accesses;
       icache_misses;
+      icache_victim_hits;
       tc_lookups;
       tc_hits;
       taken_branches = View.taken_branches view;
@@ -358,9 +360,3 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
   in
   (match metrics with Some reg -> publish reg r | None -> ());
   r
-
-let run_legacy ?icache ?trace_cache ?prediction ?metrics config view =
-  let ctx =
-    Option.map (fun reg -> Stc_obs.Run.(with_metrics reg default)) metrics
-  in
-  run ?ctx ~config ?icache ?trace_cache ?prediction view

@@ -11,10 +11,17 @@
       cache hit supplies its whole trace in one cycle with no i-cache
       access. *)
 
-(** Engine parameters. Build with {!Config.make}; every argument defaults
-    to the paper's Section 7.1 value. *)
+(** Engine parameters. {!Config.make} is the only constructor; every
+    argument defaults to the paper's Section 7.1 value. The record is
+    [private] — fields are readable (the artifact store fingerprints
+    them) but new combinations only come from [make], so a future
+    parameter can be added without revisiting construction sites. *)
 module Config : sig
-  type t = { max_branches : int; line_bytes : int; miss_penalty : int }
+  type t = private {
+    max_branches : int;
+    line_bytes : int;
+    miss_penalty : int;
+  }
 
   val default : t
   (** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty. *)
@@ -24,14 +31,7 @@ module Config : sig
   (** Override any subset of {!default}. *)
 end
 
-type config = Config.t = {
-  max_branches : int;
-  line_bytes : int;
-  miss_penalty : int;
-}
-
-val default_config : config
-[@@ocaml.deprecated "use Engine.Config.default (or omit ?config entirely)"]
+type config = Config.t
 
 type prediction = {
   pred : Predictor.t;
@@ -47,6 +47,8 @@ type result = {
   tc_cycles : int;  (** Fetch cycles served by the trace cache. *)
   icache_accesses : int;
   icache_misses : int;
+  icache_victim_hits : int;
+      (** Lines found in the victim buffer (0 without [~victim_lines]). *)
   tc_lookups : int;
   tc_hits : int;
   taken_branches : int;
@@ -60,6 +62,13 @@ val bandwidth : result -> float
 
 val miss_rate_pct : result -> float
 (** I-cache misses per 100 instructions executed (the unit of Table 3). *)
+
+val publish : Stc_obs.Registry.t -> result -> unit
+(** Accumulate a result into the registry's [engine.*] counters and tick
+    [engine.runs] — exactly what {!run} does internally when its context
+    carries metrics. Exposed so a cached replay (an artifact-store hit
+    that skips the simulation) can register the identical totals as the
+    run it stands in for. *)
 
 val run :
   ?ctx:Stc_obs.Run.ctx ->
@@ -112,15 +121,3 @@ val run_naive :
     equality with {!run_packed} is property-tested, and
     [bench/main.exe fetch --naive] exercises it to measure the packed
     speedup. *)
-
-val run_legacy :
-  ?icache:Stc_cachesim.Icache.t ->
-  ?trace_cache:Tracecache.t ->
-  ?prediction:prediction ->
-  ?metrics:Stc_obs.Registry.t ->
-  config ->
-  View.t ->
-  result
-[@@ocaml.deprecated
-  "use Engine.run ?ctx ?config view — Run.ctx carries the registry"]
-(** The pre-[Run.ctx] call shape (positional config, [?metrics]). *)

@@ -108,6 +108,13 @@ let compile prog layout rec_ =
     ~addrs:(Array.init (Array.length blocks) (Layout.address layout))
     rec_
 
+let of_raw ~words ~len ~total_instrs ~taken_branches =
+  if len < 0 || len > Array.length words then
+    invalid_arg "Packed.of_raw: len out of range";
+  if total_instrs < 0 || taken_branches < 0 || taken_branches > len then
+    invalid_arg "Packed.of_raw: totals out of range";
+  { words; len; total_instrs; taken_branches }
+
 let length t = t.len
 
 let raw t = t.words

@@ -36,6 +36,18 @@ val of_tables :
     of a program + layout; this is what {!View.pack} uses so a view and
     its packed form share exactly the same inputs. *)
 
+val of_raw :
+  words:int array ->
+  len:int ->
+  total_instrs:int ->
+  taken_branches:int ->
+  t
+(** Rebuild a compiled image from its components — the artifact store's
+    deserialization path, inverse of reading {!raw}/{!length} and the
+    stream totals. Only basic range checks are performed; the words are
+    trusted to be a faithful copy of a previously compiled image. The
+    array is not copied. *)
+
 val length : t -> int
 (** Number of blocks in the trace. *)
 

@@ -15,8 +15,7 @@
     names must be unique within a registry.
 
     A registry reaches entry points inside a {!Run.ctx}
-    ([Run.with_metrics reg Run.default]); the per-function [?metrics]
-    optionals are deprecated ([*_legacy] wrappers). A registry is not
+    ([Run.with_metrics reg Run.default]). A registry is not
     thread-safe: parallel grids give each task its own shard and
     {!merge} them after the join. *)
 

@@ -3,9 +3,11 @@ type ctx = {
   progress : bool;
   seed : int option;
   jobs : int;
+  store : string option;
 }
 
-let default = { metrics = None; progress = false; seed = None; jobs = 1 }
+let default =
+  { metrics = None; progress = false; seed = None; jobs = 1; store = None }
 
 let with_metrics reg ctx = { ctx with metrics = Some reg }
 
@@ -14,6 +16,8 @@ let with_progress progress ctx = { ctx with progress }
 let with_seed seed ctx = { ctx with seed = Some seed }
 
 let with_jobs jobs ctx = { ctx with jobs = max 1 jobs }
+
+let with_store dir ctx = { ctx with store = Some dir }
 
 let span ctx name f =
   match ctx.metrics with Some reg -> Registry.span reg name f | None -> f ()

@@ -16,9 +16,7 @@
       let rows = Experiments.simulate ~ctx pl in ...
     ]}
 
-    The record is transparent: [{ ctx with jobs = 1 }] is fine too. The
-    pre-[ctx] per-function [?metrics]/[?progress] optional pairs survive
-    as deprecated [*_legacy] wrappers on their modules. *)
+    The record is transparent: [{ ctx with jobs = 1 }] is fine too. *)
 
 type ctx = {
   metrics : Registry.t option;
@@ -30,11 +28,19 @@ type ctx = {
   jobs : int;
       (** Parallelism for grid phases: domains used by {!Stc_par.Pool}.
           [1] = the exact serial path, never spawning a domain. *)
+  store : string option;
+      (** Artifact-store directory ({!Stc_store}): entry points consult
+          it before recomputing traces, layouts, packed images and
+          simulation results, and write what they computed back. [None]
+          = always recompute. The type is a path, not a store handle, so
+          that this module stays below [lib/store] in the dependency
+          order; consumers open a handle with [Stc_store.of_ctx]. *)
 }
 
 val default : ctx
-(** [{ metrics = None; progress = false; seed = None; jobs = 1 }] —
-    observe nothing, derive nothing, run serially. *)
+(** [{ metrics = None; progress = false; seed = None; jobs = 1;
+    store = None }] — observe nothing, derive nothing, run serially,
+    recompute everything. *)
 
 (** {2 Builders} *)
 
@@ -46,6 +52,9 @@ val with_seed : int -> ctx -> ctx
 
 val with_jobs : int -> ctx -> ctx
 (** Clamped to at least 1. *)
+
+val with_store : string -> ctx -> ctx
+(** Cache artifacts under the given directory (created on first use). *)
 
 (** {2 Helpers for ctx-threading code} *)
 

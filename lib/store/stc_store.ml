@@ -1,0 +1,656 @@
+module Fnv = Stc_util.Fnv
+module Crc32 = Stc_util.Crc32
+module Registry = Stc_obs.Registry
+module Counter = Stc_obs.Metric.Counter
+module Json = Stc_obs.Json
+module Program = Stc_cfg.Program
+module Proc = Stc_cfg.Proc
+module Block = Stc_cfg.Block
+module Terminator = Stc_cfg.Terminator
+module Recorder = Stc_trace.Recorder
+module Engine = Stc_fetch.Engine
+
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun m -> raise (Corrupt m)) fmt
+
+module Key = struct
+  type t = string
+
+  let of_parts parts =
+    List.fold_left
+      (fun h p -> Fnv.string (Fnv.int h (String.length p)) p)
+      Fnv.empty parts
+    |> Fnv.to_hex
+
+  let hex k = k
+end
+
+(* ------------------------------------------------------------------ *)
+(* Binary payload codecs: LEB128 varints for the (non-negative) ints
+   that dominate every artifact, raw little-endian words for the rest.
+   [Dec] raises {!Corrupt} on any malformed input, including trailing
+   bytes, so a CRC-valid payload from a buggy or foreign writer still
+   degrades to a recomputation. *)
+
+module Enc = struct
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u32 b v =
+    u8 b v;
+    u8 b (v lsr 8);
+    u8 b (v lsr 16);
+    u8 b (v lsr 24)
+
+  let varint b v =
+    if v < 0 then invalid_arg "Stc_store.Enc.varint: negative";
+    let rec go v =
+      if v < 0x80 then u8 b v
+      else begin
+        u8 b (0x80 lor (v land 0x7f));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let i64 b v =
+    for i = 0 to 7 do
+      u8 b (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+    done
+
+  let float b v = i64 b (Int64.bits_of_float v)
+
+  let str b s =
+    varint b (String.length s);
+    Buffer.add_string b s
+end
+
+module Dec = struct
+  type t = { s : string; mutable pos : int }
+
+  let make s = { s; pos = 0 }
+
+  let u8 d =
+    if d.pos >= String.length d.s then corrupt "unexpected end of payload";
+    let v = Char.code d.s.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u32 d =
+    let a = u8 d in
+    let b = u8 d in
+    let c = u8 d in
+    let e = u8 d in
+    a lor (b lsl 8) lor (c lsl 16) lor (e lsl 24)
+
+  let varint d =
+    let rec go shift acc =
+      if shift > 62 then corrupt "varint too long";
+      let byte = u8 d in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    let v = go 0 0 in
+    if v < 0 then corrupt "varint out of range";
+    v
+
+  let i64 d =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 d)) (8 * i))
+    done;
+    !v
+
+  let float d = Int64.float_of_bits (i64 d)
+
+  let str d =
+    let n = varint d in
+    if d.pos + n > String.length d.s then corrupt "string runs past payload";
+    let s = String.sub d.s d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let finish d =
+    if d.pos <> String.length d.s then
+      corrupt "%d trailing bytes" (String.length d.s - d.pos)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The on-disk container. *)
+
+let magic = "STCA"
+
+let container_version = 1
+
+type t = {
+  dir : string;
+  metrics : Registry.t option;
+  hits : Counter.t;
+  misses : Counter.t;
+  writes : Counter.t;
+  corrupt_c : Counter.t;
+  bytes_read : Counter.t;
+  bytes_written : Counter.t;
+}
+
+let dir t = t.dir
+
+let rec mkdir_p path =
+  if path <> "" && path <> "." && path <> "/" && not (Sys.file_exists path)
+  then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_ ?metrics dirname =
+  mkdir_p dirname;
+  let c name =
+    match metrics with
+    | Some reg -> Registry.counter reg ("store." ^ name)
+    | None -> Counter.make ("store." ^ name)
+  in
+  {
+    dir = dirname;
+    metrics;
+    hits = c "hits";
+    misses = c "misses";
+    writes = c "writes";
+    corrupt_c = c "corrupt";
+    bytes_read = c "bytes_read";
+    bytes_written = c "bytes_written";
+  }
+
+let of_ctx ctx =
+  match ctx.Stc_obs.Run.store with
+  | None -> None
+  | Some d -> Some (open_ ?metrics:ctx.Stc_obs.Run.metrics d)
+
+let warning t ~kind ~key ~reason =
+  match t.metrics with
+  | None -> ()
+  | Some reg ->
+      Registry.event reg ~kind:"store.warning"
+        [
+          ("artifact", Json.Str kind);
+          ("key", Json.Str (Key.hex key));
+          ("reason", Json.Str reason);
+        ]
+
+let entry_path t ~kind key =
+  Filename.concat (Filename.concat t.dir kind) (Key.hex key ^ ".bin")
+
+(* Parse a whole entry file. [Error (`Damage reason)] is physical
+   corruption (counts on [store.corrupt]); [Error (`Stale reason)] is a
+   well-formed entry from another format generation. *)
+let parse_entry contents =
+  let n = String.length contents in
+  let header_err reason = Error (`Damage reason) in
+  if n < String.length magic + 1 then header_err "truncated header"
+  else if String.sub contents 0 (String.length magic) <> magic then
+    header_err "bad magic"
+  else
+    let d = Dec.make contents in
+    d.Dec.pos <- String.length magic;
+    match
+      let cv = Dec.u8 d in
+      let kind = Dec.str d in
+      let version = Dec.u32 d in
+      let payload_len = Dec.u32 d in
+      (cv, kind, version, payload_len)
+    with
+    | exception Corrupt reason -> header_err reason
+    | cv, kind, version, payload_len ->
+        if cv <> container_version then
+          Error (`Stale (Printf.sprintf "container version %d" cv))
+        else
+          let pos = d.Dec.pos in
+          if payload_len < 0 || pos + payload_len + 4 <> n then
+            header_err "payload length mismatch"
+          else
+            let crc_stored =
+              d.Dec.pos <- pos + payload_len;
+              Dec.u32 d
+            in
+            if Crc32.sub contents ~pos ~len:payload_len <> crc_stored then
+              header_err "checksum mismatch"
+            else Ok (kind, version, String.sub contents pos payload_len)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> Some contents
+  | exception Sys_error _ -> None
+
+type outcome =
+  | Hit of string
+  | Miss
+  | Stale of string
+  | Damaged of string
+
+let lookup t ~kind ~version key =
+  let path = entry_path t ~kind key in
+  if not (Sys.file_exists path) then Miss
+  else
+    match read_file path with
+    | None -> Stale "unreadable file"
+    | Some contents -> (
+        match parse_entry contents with
+        | Error (`Damage reason) -> Damaged reason
+        | Error (`Stale reason) -> Stale reason
+        | Ok (k, v, payload) ->
+            if k <> kind then
+              Damaged (Printf.sprintf "kind %S in a %S entry" k kind)
+            else if v <> version then
+              Stale (Printf.sprintf "format version %d, want %d" v version)
+            else Hit payload)
+
+let count_hit t payload =
+  Counter.incr t.hits;
+  Counter.add t.bytes_read (String.length payload)
+
+let count_non_hit t ~kind ~key = function
+  | Hit _ -> assert false
+  | Miss -> Counter.incr t.misses
+  | Stale reason ->
+      Counter.incr t.misses;
+      warning t ~kind ~key ~reason
+  | Damaged reason ->
+      Counter.incr t.misses;
+      Counter.incr t.corrupt_c;
+      warning t ~kind ~key ~reason
+
+let read t ~kind ~version key =
+  match lookup t ~kind ~version key with
+  | Hit payload ->
+      count_hit t payload;
+      Some payload
+  | other ->
+      count_non_hit t ~kind ~key other;
+      None
+
+let tmp_counter = Atomic.make 0
+
+let write t ~kind ~version key payload =
+  let path = entry_path t ~kind key in
+  let b = Buffer.create (String.length payload + 64) in
+  Buffer.add_string b magic;
+  Enc.u8 b container_version;
+  Enc.str b kind;
+  Enc.u32 b version;
+  Enc.u32 b (String.length payload);
+  Buffer.add_string b payload;
+  Enc.u32 b (Crc32.string payload);
+  let tmp =
+    Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+      (Atomic.fetch_and_add tmp_counter 1)
+  in
+  match
+    mkdir_p (Filename.dirname path);
+    Out_channel.with_open_bin tmp (fun oc -> Buffer.output_buffer oc b);
+    Sys.rename tmp path
+  with
+  | () ->
+      Counter.incr t.writes;
+      Counter.add t.bytes_written (String.length payload)
+  | exception Sys_error reason ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      warning t ~kind ~key ~reason
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      warning t ~kind ~key ~reason:(Unix.error_message e)
+
+(* ------------------------------------------------------------------ *)
+(* Typed artifacts. *)
+
+(* Typed load: on a CRC-valid payload the decoder rejects, count the
+   entry as damaged, not as a hit. *)
+let load_with t ~kind ~version ~decode key =
+  match lookup t ~kind ~version key with
+  | Hit payload -> (
+      match decode payload with
+      | v ->
+          count_hit t payload;
+          Some v
+      | exception Corrupt reason ->
+          count_non_hit t ~kind ~key (Damaged reason);
+          None)
+  | other ->
+      count_non_hit t ~kind ~key other;
+      None
+
+let cached_with ~load ~save store ~key compute =
+  match store with
+  | None -> compute ()
+  | Some t -> (
+      match load t ~key with
+      | Some v -> v
+      | None ->
+          let v = compute () in
+          save t ~key v;
+          v)
+
+module Trace = struct
+  let kind = "trace"
+
+  let version = 1
+
+  let encode r =
+    let b = Buffer.create 4096 in
+    let n = Recorder.length r in
+    let ids = Recorder.raw_ids r in
+    Enc.varint b n;
+    for i = 0 to n - 1 do
+      Enc.varint b ids.(i)
+    done;
+    let marks = Recorder.marks r in
+    Enc.varint b (List.length marks);
+    List.iter
+      (fun (name, pos) ->
+        Enc.str b name;
+        Enc.varint b pos)
+      marks;
+    Buffer.contents b
+
+  let decode payload =
+    let d = Dec.make payload in
+    let n = Dec.varint d in
+    let ids = Array.init n (fun _ -> Dec.varint d) in
+    let n_marks = Dec.varint d in
+    let marks =
+      List.init n_marks (fun _ ->
+          let name = Dec.str d in
+          let pos = Dec.varint d in
+          (name, pos))
+    in
+    Dec.finish d;
+    Recorder.of_ids ids ~marks
+
+  let load t ~key = load_with t ~kind ~version ~decode key
+
+  let save t ~key r = write t ~kind ~version key (encode r)
+
+  let cached store ~key f = cached_with ~load ~save store ~key f
+end
+
+module Layout = struct
+  let kind = "layout"
+
+  let version = 1
+
+  let encode (l : Stc_layout.Layout.t) =
+    let b = Buffer.create 1024 in
+    Enc.str b l.Stc_layout.Layout.name;
+    let addr = l.Stc_layout.Layout.addr in
+    Enc.varint b (Array.length addr);
+    Array.iter (Enc.varint b) addr;
+    Buffer.contents b
+
+  let decode payload =
+    let d = Dec.make payload in
+    let name = Dec.str d in
+    let n = Dec.varint d in
+    let addr = Array.init n (fun _ -> Dec.varint d) in
+    Dec.finish d;
+    { Stc_layout.Layout.name; addr }
+
+  let load t ~key = load_with t ~kind ~version ~decode key
+
+  let save t ~key l = write t ~kind ~version key (encode l)
+
+  let cached store ~key f = cached_with ~load ~save store ~key f
+end
+
+module Packed = struct
+  let kind = "packed"
+
+  let version = 1
+
+  let max_persist_words = 4_000_000
+
+  let encode p =
+    let b = Buffer.create 4096 in
+    let len = Stc_fetch.Packed.length p in
+    let words = Stc_fetch.Packed.raw p in
+    Enc.varint b len;
+    for i = 0 to len - 1 do
+      Enc.varint b words.(i)
+    done;
+    Enc.varint b (Stc_fetch.Packed.total_instrs p);
+    Enc.varint b (Stc_fetch.Packed.taken_branches p);
+    Buffer.contents b
+
+  let decode payload =
+    let d = Dec.make payload in
+    let len = Dec.varint d in
+    let words = Array.make (max len 1) 0 in
+    for i = 0 to len - 1 do
+      words.(i) <- Dec.varint d
+    done;
+    let total_instrs = Dec.varint d in
+    let taken_branches = Dec.varint d in
+    Dec.finish d;
+    match Stc_fetch.Packed.of_raw ~words ~len ~total_instrs ~taken_branches with
+    | p -> p
+    | exception Invalid_argument m -> corrupt "%s" m
+
+  let load t ~key = load_with t ~kind ~version ~decode key
+
+  let save t ~key p =
+    if Stc_fetch.Packed.memory_words p <= max_persist_words then
+      write t ~kind ~version key (encode p)
+
+  let cached store ~key f = cached_with ~load ~save store ~key f
+end
+
+module Result = struct
+  let kind = "result"
+
+  let version = 1
+
+  let encode (r : Engine.result) =
+    let b = Buffer.create 128 in
+    Enc.varint b r.Engine.instrs;
+    Enc.varint b r.Engine.cycles;
+    Enc.varint b r.Engine.fetch_cycles;
+    Enc.varint b r.Engine.seq_cycles;
+    Enc.varint b r.Engine.tc_cycles;
+    Enc.varint b r.Engine.icache_accesses;
+    Enc.varint b r.Engine.icache_misses;
+    Enc.varint b r.Engine.icache_victim_hits;
+    Enc.varint b r.Engine.tc_lookups;
+    Enc.varint b r.Engine.tc_hits;
+    Enc.varint b r.Engine.taken_branches;
+    Enc.float b r.Engine.instrs_between_taken;
+    Enc.varint b r.Engine.cond_branches;
+    Enc.varint b r.Engine.mispredictions;
+    Buffer.contents b
+
+  let decode payload =
+    let d = Dec.make payload in
+    let instrs = Dec.varint d in
+    let cycles = Dec.varint d in
+    let fetch_cycles = Dec.varint d in
+    let seq_cycles = Dec.varint d in
+    let tc_cycles = Dec.varint d in
+    let icache_accesses = Dec.varint d in
+    let icache_misses = Dec.varint d in
+    let icache_victim_hits = Dec.varint d in
+    let tc_lookups = Dec.varint d in
+    let tc_hits = Dec.varint d in
+    let taken_branches = Dec.varint d in
+    let instrs_between_taken = Dec.float d in
+    let cond_branches = Dec.varint d in
+    let mispredictions = Dec.varint d in
+    Dec.finish d;
+    {
+      Engine.instrs;
+      cycles;
+      fetch_cycles;
+      seq_cycles;
+      tc_cycles;
+      icache_accesses;
+      icache_misses;
+      icache_victim_hits;
+      tc_lookups;
+      tc_hits;
+      taken_branches;
+      instrs_between_taken;
+      cond_branches;
+      mispredictions;
+    }
+
+  let load t ~key = load_with t ~kind ~version ~decode key
+
+  let save t ~key r = write t ~kind ~version key (encode r)
+
+  let cached store ~key f = cached_with ~load ~save store ~key f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Content fingerprints. *)
+
+module Fp = struct
+  let program (p : Program.t) =
+    let h = ref Fnv.empty in
+    let add v = h := Fnv.int !h v in
+    let adds s = h := Fnv.string (Fnv.int !h (String.length s)) s in
+    add (Array.length p.Program.procs);
+    Array.iter
+      (fun (pr : Proc.t) ->
+        add pr.Proc.pid;
+        adds pr.Proc.name;
+        adds (Proc.subsystem_name pr.Proc.subsystem);
+        add pr.Proc.entry;
+        add (Array.length pr.Proc.blocks);
+        Array.iter add pr.Proc.blocks)
+      p.Program.procs;
+    add (Array.length p.Program.blocks);
+    Array.iter
+      (fun (b : Block.t) ->
+        add b.Block.id;
+        add b.Block.size;
+        match b.Block.term with
+        | Terminator.Fall x ->
+            add 0;
+            add x
+        | Terminator.Jump x ->
+            add 1;
+            add x
+        | Terminator.Cond { taken; fallthru } ->
+            add 2;
+            add taken;
+            add fallthru
+        | Terminator.Call { callee; next } ->
+            add 3;
+            add callee;
+            add next
+        | Terminator.Icall { callees; next } ->
+            add 4;
+            add (Array.length callees);
+            Array.iter add callees;
+            add next
+        | Terminator.Ret -> add 5)
+      p.Program.blocks;
+    Fnv.to_hex !h
+
+  let layout (l : Stc_layout.Layout.t) =
+    let addr = l.Stc_layout.Layout.addr in
+    Fnv.to_hex (Fnv.ints (Fnv.int Fnv.empty (Array.length addr)) addr)
+
+  let trace r =
+    let h = Fnv.int64 Fnv.empty (Recorder.hash r) in
+    let h =
+      List.fold_left
+        (fun h (name, pos) ->
+          Fnv.int (Fnv.string (Fnv.int h (String.length name)) name) pos)
+        h (Recorder.marks r)
+    in
+    Fnv.to_hex h
+
+  let engine_config (c : Engine.config) =
+    Fnv.empty
+    |> Fun.flip Fnv.int c.Engine.Config.max_branches
+    |> Fun.flip Fnv.int c.Engine.Config.line_bytes
+    |> Fun.flip Fnv.int c.Engine.Config.miss_penalty
+    |> Fnv.to_hex
+end
+
+(* ------------------------------------------------------------------ *)
+(* Statistics and inspection. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  writes : int;
+  corrupt : int;
+  bytes_read : int;
+  bytes_written : int;
+}
+
+let stats (t : t) =
+  {
+    hits = Counter.value t.hits;
+    misses = Counter.value t.misses;
+    writes = Counter.value t.writes;
+    corrupt = Counter.value t.corrupt_c;
+    bytes_read = Counter.value t.bytes_read;
+    bytes_written = Counter.value t.bytes_written;
+  }
+
+type entry = {
+  e_path : string;
+  e_kind : string;
+  e_key : string;
+  e_version : int;
+  e_payload_bytes : int;
+  e_ok : bool;
+  e_reason : string option;
+}
+
+let inspect_file path =
+  let e_key = Filename.remove_extension (Filename.basename path) in
+  let broken reason =
+    {
+      e_path = path;
+      e_kind = "?";
+      e_key;
+      e_version = -1;
+      e_payload_bytes = 0;
+      e_ok = false;
+      e_reason = Some reason;
+    }
+  in
+  match read_file path with
+  | None -> broken "unreadable file"
+  | Some contents -> (
+      match parse_entry contents with
+      | Error (`Damage reason) | Error (`Stale reason) -> broken reason
+      | Ok (kind, version, payload) ->
+          {
+            e_path = path;
+            e_kind = kind;
+            e_key;
+            e_version = version;
+            e_payload_bytes = String.length payload;
+            e_ok = true;
+            e_reason = None;
+          })
+
+let scan dirname =
+  let readdir d = match Sys.readdir d with a -> a | exception Sys_error _ -> [||] in
+  let kinds =
+    readdir dirname
+    |> Array.to_list
+    |> List.filter (fun k ->
+           match Sys.is_directory (Filename.concat dirname k) with
+           | b -> b
+           | exception Sys_error _ -> false)
+  in
+  kinds
+  |> List.concat_map (fun k ->
+         let kd = Filename.concat dirname k in
+         readdir kd
+         |> Array.to_list
+         |> List.filter (fun f -> Filename.check_suffix f ".bin")
+         |> List.map (fun f -> Filename.concat kd f))
+  |> List.sort String.compare
+  |> List.map inspect_file

@@ -45,11 +45,17 @@ let unsafe_get t i = Vec.unsafe_get t.trace i
 
 let raw_ids t = Vec.raw t.trace
 
-let hash t =
-  let h = ref 0xCBF29CE484222325L in
-  Vec.iter
-    (fun bid ->
-      h := Int64.logxor !h (Int64.of_int bid);
-      h := Int64.mul !h 0x100000001B3L)
-    t.trace;
-  !h
+let hash t = Stc_util.Fnv.ints ~len:(Vec.length t.trace) Stc_util.Fnv.empty (Vec.raw t.trace)
+
+let of_ids ids ~marks =
+  let t =
+    {
+      trace = Vec.of_array ids;
+      marks_rev = List.rev marks;
+      blocks = Counter.make "blocks";
+      n_marks = Counter.make "marks";
+    }
+  in
+  Counter.add t.blocks (Array.length ids);
+  Counter.add t.n_marks (List.length marks);
+  t

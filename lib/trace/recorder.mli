@@ -45,5 +45,12 @@ val raw_ids : t -> int array
     it across recording. *)
 
 val hash : t -> int64
-(** FNV-1a over the recorded ids — a cheap fingerprint for determinism
-    tests. *)
+(** {!Stc_util.Fnv} (FNV-1a) over the recorded ids — a cheap fingerprint
+    for determinism tests and artifact-store keys. *)
+
+val of_ids : int array -> marks:(string * int) list -> t
+(** Reconstitute a recorder from previously captured contents (the
+    artifact store's deserialization path): the recorded-blocks counter
+    is set to the array length and the marks counter to the list length,
+    exactly as if every id had been {!sink}ed and every mark {!mark}ed,
+    so {!attach_metrics} exports the same values either way. *)

@@ -1,0 +1,15 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial), table-driven.
+
+    The artifact store appends this checksum to every entry so that a
+    torn write or bit rot is detected on read and degrades to a
+    recomputation instead of corrupt results. Unlike {!Fnv} (fast
+    fingerprinting of trusted inputs), the CRC exists to catch {e
+    accidental} corruption of untrusted bytes. *)
+
+val string : string -> int
+(** CRC over a whole string; in [0, 2^32). [string "123456789"] is
+    [0xCBF43926], the standard check value. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** CRC over a substring. Raises [Invalid_argument] if the range is
+    outside the string. *)

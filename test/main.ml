@@ -15,5 +15,6 @@ let () =
       ("cachesim", Test_cachesim.suite);
       ("fetch", Test_fetch.suite);
       ("core", Test_core.suite);
+      ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);
     ]

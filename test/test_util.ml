@@ -159,8 +159,50 @@ let qcheck_tests =
         Histo.mass_below h lo <= Histo.mass_below h hi +. 1e-9);
   ]
 
+let test_crc32 () =
+  (* the standard CRC-32/IEEE check value *)
+  Alcotest.(check int) "check value" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "empty" 0 (Crc32.string "");
+  Alcotest.(check int) "sub agrees with string" (Crc32.string "456")
+    (Crc32.sub "123456789" ~pos:3 ~len:3);
+  Alcotest.check_raises "sub bounds"
+    (Invalid_argument "Crc32.sub") (fun () ->
+      ignore (Crc32.sub "abc" ~pos:2 ~len:5));
+  (* a single flipped bit always changes the checksum *)
+  let s = String.init 64 Char.chr in
+  let flipped i =
+    String.mapi
+      (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c)
+      s
+  in
+  for i = 0 to 63 do
+    Alcotest.(check bool) "bit flip detected" true
+      (Crc32.string (flipped i) <> Crc32.string s)
+  done
+
+let test_fnv () =
+  Alcotest.(check int64) "offset basis" 0xCBF29CE484222325L Fnv.empty;
+  Alcotest.(check int) "hex length" 16 (String.length (Fnv.to_hex Fnv.empty));
+  (* string absorbs bytes; empty string is the identity *)
+  Alcotest.(check int64) "empty string is identity" Fnv.empty
+    (Fnv.string Fnv.empty "");
+  Alcotest.(check bool) "order matters" true
+    (Fnv.string (Fnv.string Fnv.empty "a") "b"
+    <> Fnv.string (Fnv.string Fnv.empty "b") "a");
+  Alcotest.(check bool) "floats hash by bits" true
+    (Fnv.float Fnv.empty 0.0 <> Fnv.float Fnv.empty (-0.0));
+  let arr = [| 5; 7; 11; 13 |] in
+  Alcotest.(check int64) "ints = fold int"
+    (Array.fold_left Fnv.int Fnv.empty arr)
+    (Fnv.ints Fnv.empty arr);
+  Alcotest.(check int64) "ints ~len prefix"
+    (Fnv.ints Fnv.empty [| 5; 7 |])
+    (Fnv.ints ~len:2 Fnv.empty arr)
+
 let suite =
   [
+    Alcotest.test_case "crc32" `Quick test_crc32;
+    Alcotest.test_case "fnv" `Quick test_fnv;
     Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
     Alcotest.test_case "rng named" `Quick test_rng_named_independent;
     Alcotest.test_case "rng bounds" `Quick test_rng_bounds;

@@ -1,11 +1,16 @@
 (* Compare two metrics JSONL exports (see Stc_obs.Export for the schema)
    and exit non-zero when deterministic values drift beyond a tolerance.
 
-     metrics_diff A.jsonl B.jsonl [--tolerance PCT]
+     metrics_diff A.jsonl B.jsonl [--tolerance PCT] [--ignore PREFIX]...
 
    Compared: counters, gauges, histogram totals and buckets, span call
    counts, and every numeric/string field of events (paired per kind, in
-   order). Ignored: span "seconds" (wall clock is never deterministic).
+   order). Ignored: span "seconds" (wall clock is never deterministic),
+   plus any metric whose name — or event whose kind — starts with an
+   --ignore prefix; ignored records are dropped from both files before
+   pairing, so occurrence numbering stays aligned. The canonical use is
+   "--ignore store." to compare a cold against a warm artifact-store run,
+   whose only intended difference is the store's own hit/miss counters.
    Tolerance is relative, in percent; the default 0 demands exact
    equality, which is what two same-seed runs must achieve.
 
@@ -14,11 +19,12 @@
 module Json = Stc_obs.Json
 
 let usage () =
-  prerr_endline "usage: metrics_diff A.jsonl B.jsonl [--tolerance PCT]";
+  prerr_endline
+    "usage: metrics_diff A.jsonl B.jsonl [--tolerance PCT] [--ignore PREFIX]...";
   exit 2
 
 let parse_args () =
-  let files = ref [] and tolerance = ref 0.0 in
+  let files = ref [] and tolerance = ref 0.0 and ignores = ref [] in
   let rec go = function
     | [] -> ()
     | "--tolerance" :: v :: rest ->
@@ -26,13 +32,16 @@ let parse_args () =
       | Some t when t >= 0.0 -> tolerance := t /. 100.0
       | _ -> usage ());
       go rest
+    | "--ignore" :: p :: rest ->
+      ignores := p :: !ignores;
+      go rest
     | a :: rest ->
       files := a :: !files;
       go rest
   in
   go (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
-  | [ a; b ] -> (a, b, !tolerance)
+  | [ a; b ] -> (a, b, !tolerance, !ignores)
   | _ -> usage ()
 
 let read_records path =
@@ -53,6 +62,21 @@ let str_field name r =
   match Json.member name r with Some (Json.Str s) -> Some s | _ -> None
 
 let record_type r = Option.value ~default:"?" (str_field "type" r)
+
+(* --ignore filtering, applied before keying so both files number the
+   surviving repeats identically. *)
+let ignored ~ignores r =
+  ignores <> []
+  &&
+  let tag =
+    match record_type r with
+    | "counter" | "gauge" | "histo" -> str_field "name" r
+    | "event" -> str_field "kind" r
+    | _ -> None
+  in
+  match tag with
+  | None -> false
+  | Some t -> List.exists (fun p -> String.starts_with ~prefix:p t) ignores
 
 (* Identifying key per record; numbered suffix disambiguates repeats
    (events of the same kind are paired in emission order). *)
@@ -127,8 +151,11 @@ let rec compare_json ~tolerance ~ignore_seconds path a b =
         report "%s: %s vs %s" path (Json.to_string a) (Json.to_string b))
 
 let () =
-  let file_a, file_b, tolerance = parse_args () in
-  let a = keys (read_records file_a) and b = keys (read_records file_b) in
+  let file_a, file_b, tolerance, ignores = parse_args () in
+  let load path =
+    keys (List.filter (fun r -> not (ignored ~ignores r)) (read_records path))
+  in
+  let a = load file_a and b = load file_b in
   let tbl_b = Hashtbl.create 256 in
   List.iter (fun (k, r) -> Hashtbl.replace tbl_b k r) b;
   List.iter

@@ -1,0 +1,88 @@
+(* Dump the contents of an artifact store directory (see Stc_store).
+
+     store_inspect DIR [--json] [--strict]
+
+   One line per entry: kind, key, format version, payload size, and
+   whether the container checksum verifies. --json emits one JSON object
+   per entry instead of the table. --strict exits 1 when any entry is
+   corrupt or unreadable — the store-smoke CI alias runs it after a warm
+   pass to assert the cache survived intact.
+
+   Exit codes: 0 ok, 1 corrupt entries under --strict, 2 usage error. *)
+
+module Store = Stc_store
+module Json = Stc_obs.Json
+module Tbl = Stc_util.Tbl
+
+let usage () =
+  prerr_endline "usage: store_inspect DIR [--json] [--strict]";
+  exit 2
+
+let parse_args () =
+  let dir = ref None and json = ref false and strict = ref false in
+  List.iter
+    (function
+      | "--json" -> json := true
+      | "--strict" -> strict := true
+      | a when String.length a > 0 && a.[0] = '-' -> usage ()
+      | a -> ( match !dir with None -> dir := Some a | Some _ -> usage ()))
+    (List.tl (Array.to_list Sys.argv));
+  match !dir with None -> usage () | Some d -> (d, !json, !strict)
+
+let () =
+  let dir, json, strict = parse_args () in
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "store_inspect: %s: not a directory\n" dir;
+    exit 2
+  end;
+  let entries = Store.scan dir in
+  let bad = List.filter (fun e -> not e.Store.e_ok) entries in
+  if json then
+    List.iter
+      (fun (e : Store.entry) ->
+        print_endline
+          (Json.to_string
+             (Json.Obj
+                [
+                  ("path", Json.Str e.e_path);
+                  ("kind", Json.Str e.e_kind);
+                  ("key", Json.Str e.e_key);
+                  ("version", Json.Int e.e_version);
+                  ("payload_bytes", Json.Int e.e_payload_bytes);
+                  ("ok", Json.Bool e.e_ok);
+                  ( "reason",
+                    match e.e_reason with
+                    | Some r -> Json.Str r
+                    | None -> Json.Null );
+                ])))
+      entries
+  else begin
+    let t =
+      Tbl.create
+        ~headers:
+          [
+            ("kind", Tbl.Left);
+            ("key", Tbl.Left);
+            ("ver", Tbl.Right);
+            ("bytes", Tbl.Right);
+            ("crc", Tbl.Left);
+          ]
+    in
+    List.iter
+      (fun (e : Store.entry) ->
+        Tbl.add_row t
+          [
+            e.e_kind;
+            e.e_key;
+            string_of_int e.e_version;
+            string_of_int e.e_payload_bytes;
+            (match e.e_reason with
+            | None -> "ok"
+            | Some r -> "CORRUPT: " ^ r);
+          ])
+      entries;
+    Tbl.print t;
+    Printf.printf "%d entries, %d corrupt\n" (List.length entries)
+      (List.length bad)
+  end;
+  if strict && bad <> [] then exit 1
