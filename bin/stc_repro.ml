@@ -246,6 +246,33 @@ let extensions_cmd =
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
       $ store_arg $ metrics_arg $ progress_arg)
 
+let check_cmd =
+  let run quick sf seed frames jobs store metrics progress =
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    let ctx = make_ctx reg progress seed jobs store in
+    let pl = setup ~ctx quick sf frames in
+    Printf.printf "Running layout validators and differential oracles...\n%!";
+    let t0 = Unix.gettimeofday () in
+    let report = Stc_check.run_all ~ctx pl in
+    Printf.printf "Checks done in %.1fs.\n\n%!" (Unix.gettimeofday () -. t0);
+    Stc_check.print_report report;
+    report_store reg store;
+    finish_metrics reg metrics;
+    if not (Stc_check.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Correctness checks: validate every layout algorithm's output \
+          (overlap, alignment, coverage, CFA containment) and replay the \
+          test trace through reference cache/fetch oracles, diffing them \
+          against the naive and packed engines. Exits non-zero on any \
+          violation or divergence.")
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ store_arg $ metrics_arg $ progress_arg)
+
 let all_cmd =
   let run quick sf seed frames jobs store exec branch metrics progress =
     let reg = Obs.Registry.create () in
@@ -286,4 +313,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group ~default:simulate_term info
-          [ characterize_cmd; simulate_cmd; ablation_cmd; extensions_cmd; all_cmd ]))
+          [
+            characterize_cmd;
+            simulate_cmd;
+            ablation_cmd;
+            extensions_cmd;
+            check_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,735 @@
+module Json = Stc_obs.Json
+module Run = Stc_core.Run
+module Pipeline = Stc_core.Pipeline
+module Program = Stc_cfg.Program
+module Block = Stc_cfg.Block
+module Profile = Stc_profile.Profile
+module Layout = Stc_layout.Layout
+module Mapping = Stc_layout.Mapping
+module L = Stc_layout
+module View = Stc_fetch.View
+module Engine = Stc_fetch.Engine
+module Real_icache = Stc_cachesim.Icache
+module Real_tc = Stc_fetch.Tracecache
+
+(* ------------------------------------------------------------------ *)
+(* Layout validators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Layouts = struct
+  type violation =
+    | Wrong_block_count of { expected : int; got : int }
+    | Unplaced of { block : int; count : int }
+    | Misaligned of { block : int; addr : int }
+    | Overlap of { block_a : int; block_b : int; addr : int }
+    | Plan_not_partition of { block : int; times : int }
+    | Cfa_overflow of { block : int; addr : int; limit : int }
+    | Cfa_intrusion of { block : int; addr : int; window : int }
+
+  let violation_to_string = function
+    | Wrong_block_count { expected; got } ->
+      Printf.sprintf "layout covers %d blocks, program has %d" got expected
+    | Unplaced { block; count } ->
+      Printf.sprintf "executed block %d (count %d) has no valid placement"
+        block count
+    | Misaligned { block; addr } ->
+      Printf.sprintf "block %d at address %d is not instruction-aligned"
+        block addr
+    | Overlap { block_a; block_b; addr } ->
+      Printf.sprintf "blocks %d and %d overlap at address %d" block_a
+        block_b addr
+    | Plan_not_partition { block; times } ->
+      Printf.sprintf "plan mentions block %d %d times (want exactly 1)"
+        block times
+    | Cfa_overflow { block; addr; limit } ->
+      Printf.sprintf "CFA block %d at address %d ends past the CFA (%d bytes)"
+        block addr limit
+    | Cfa_intrusion { block; addr; window } ->
+      Printf.sprintf
+        "second-pass block %d at address %d intrudes into the CFA window of \
+         logical cache %d"
+        block addr window
+
+  let structure prog (layout : Layout.t) =
+    let expected = Array.length prog.Program.blocks in
+    let got = Array.length layout.Layout.addr in
+    if got <> expected then [ Wrong_block_count { expected; got } ]
+    else begin
+      let vs = ref [] in
+      let add v = vs := v :: !vs in
+      Array.iteri
+        (fun b a ->
+          if a < 0 then add (Unplaced { block = b; count = 0 })
+          else if a mod Block.instr_bytes <> 0 then
+            add (Misaligned { block = b; addr = a }))
+        layout.Layout.addr;
+      (* non-overlap: sort by address, check adjacent byte ranges *)
+      let order = Array.init got (fun b -> b) in
+      Array.sort
+        (fun a b ->
+          compare
+            (layout.Layout.addr.(a), a)
+            (layout.Layout.addr.(b), b))
+        order;
+      for i = 0 to got - 2 do
+        let a = order.(i) and b = order.(i + 1) in
+        let a_end =
+          layout.Layout.addr.(a) + Block.byte_size prog.Program.blocks.(a)
+        in
+        if a_end > layout.Layout.addr.(b) then
+          add
+            (Overlap
+               { block_a = a; block_b = b; addr = layout.Layout.addr.(b) })
+      done;
+      List.rev !vs
+    end
+
+  let coverage profile (layout : Layout.t) =
+    let n = Array.length layout.Layout.addr in
+    let counts = Profile.counts profile in
+    let vs = ref [] in
+    Array.iteri
+      (fun b count ->
+        if count > 0 && (b >= n || layout.Layout.addr.(b) < 0) then
+          vs := Unplaced { block = b; count } :: !vs)
+      counts;
+    List.rev !vs
+
+  let cfa prog (layout : Layout.t) ~cache_bytes ~cfa_bytes
+      (plan : Mapping.plan) =
+    let n = Array.length prog.Program.blocks in
+    if Array.length layout.Layout.addr <> n then
+      (* structure already reports this; the per-block checks below
+         would index out of bounds *)
+      []
+    else begin
+      let vs = ref [] in
+      let add v = vs := v :: !vs in
+      (* the three parts must partition the block set *)
+      let times = Array.make n 0 in
+      let mention b = if b >= 0 && b < n then times.(b) <- times.(b) + 1 in
+      List.iter (List.iter (List.iter mention))
+        [ plan.Mapping.cfa_seqs; plan.Mapping.other_seqs ];
+      List.iter mention plan.Mapping.cold;
+      Array.iteri
+        (fun b t -> if t <> 1 then add (Plan_not_partition { block = b; times = t }))
+        times;
+      (* first-pass blocks live wholly inside the CFA *)
+      List.iter
+        (List.iter (fun b ->
+             let a = layout.Layout.addr.(b) in
+             if a < 0 || a + Block.byte_size prog.Program.blocks.(b) > cfa_bytes
+             then add (Cfa_overflow { block = b; addr = a; limit = cfa_bytes })))
+        plan.Mapping.cfa_seqs;
+      (* second-pass blocks never touch a CFA window *)
+      if cfa_bytes > 0 then
+        List.iter
+          (List.iter (fun b ->
+               let s = layout.Layout.addr.(b) in
+               let e = s + Block.byte_size prog.Program.blocks.(b) in
+               if s >= 0 then
+                 for k = s / cache_bytes to (e - 1) / cache_bytes do
+                   let w_start = k * cache_bytes in
+                   if max s w_start < min e (w_start + cfa_bytes) then
+                     add (Cfa_intrusion { block = b; addr = s; window = k })
+                 done))
+          plan.Mapping.other_seqs;
+      List.rev !vs
+    end
+
+  let all ?cfa_plan profile layout =
+    let prog = Profile.program profile in
+    structure prog layout
+    @ coverage profile layout
+    @
+    match cfa_plan with
+    | None -> []
+    | Some (plan, cache_bytes, cfa_bytes) ->
+      cfa prog layout ~cache_bytes ~cfa_bytes plan
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reference models                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Oracle = struct
+  (* The models below deliberately share neither code nor data layout
+     with the simulators they check: recency is an MRU-ordered list, not
+     timestamps; the trace cache is an association list, not an array;
+     the fetch walker advances one instruction at a time, not one block.
+     Outcome equivalence is argued per operation in comments. *)
+
+  module Icache = struct
+    type t = {
+      assoc : int;
+      line_bytes : int;
+      n_sets : int;
+      victim_cap : int;
+      sets : int list array;  (* per set: resident lines, MRU first *)
+      mutable victim : int list;  (* insertion order, MRU first *)
+    }
+
+    let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0)
+        ~size_bytes () =
+      if assoc < 1 then invalid_arg "Oracle.Icache.create: assoc";
+      if line_bytes <= 0 || size_bytes <= 0
+         || size_bytes mod (assoc * line_bytes) <> 0
+      then invalid_arg "Oracle.Icache.create: geometry";
+      {
+        assoc;
+        line_bytes;
+        n_sets = size_bytes / (assoc * line_bytes);
+        victim_cap = victim_lines;
+        sets = Array.make (size_bytes / (assoc * line_bytes)) [];
+        victim = [];
+      }
+
+    let remove x l = List.filter (fun y -> y <> x) l
+
+    let rec take n = function
+      | [] -> []
+      | _ when n <= 0 -> []
+      | x :: tl -> x :: take (n - 1) tl
+
+    (* Equivalent to [Stc_cachesim.Icache.access_uncounted]: a hit
+       refreshes recency (stamps there, move-to-front here); a miss
+       installs the line over an invalid way if one exists (which
+       invalid way is chosen is unobservable) or the LRU way (stamps
+       are unique, so LRU = list tail); the victim buffer is probed for
+       the missing line and, exactly as in [victim_swap], receives the
+       evicted line — over its own hit slot on a victim hit, over an
+       invalid/LRU slot on a victim miss, and nothing when the main set
+       had a free way (nothing was evicted). *)
+    let access t addr =
+      let line = addr / t.line_bytes in
+      let set = line mod t.n_sets in
+      let ways = t.sets.(set) in
+      if List.mem line ways then begin
+        t.sets.(set) <- line :: remove line ways;
+        Real_icache.Hit
+      end
+      else begin
+        let evicted =
+          if List.length ways >= t.assoc then Some (List.nth ways (t.assoc - 1))
+          else None
+        in
+        t.sets.(set) <- line :: take (t.assoc - 1) ways;
+        if t.victim_cap = 0 then Real_icache.Miss
+        else if List.mem line t.victim then begin
+          let rest = remove line t.victim in
+          t.victim <- (match evicted with Some e -> e :: rest | None -> rest);
+          Real_icache.Victim_hit
+        end
+        else begin
+          (match evicted with
+          | Some e -> t.victim <- take t.victim_cap (e :: t.victim)
+          | None -> ());
+          Real_icache.Miss
+        end
+      end
+  end
+
+  module Tracecache = struct
+    type entry = { start_addr : int; n : int; br : int; outs : int }
+
+    type t = {
+      entries : int;
+      width : int;
+      max_branches : int;
+      mutable slots : (int * entry) list;  (* index -> entry *)
+    }
+
+    let create ?(entries = 256) ?(width = 16) ?(max_branches = 3) () =
+      if entries <= 0 then invalid_arg "Oracle.Tracecache.create: entries";
+      { entries; width; max_branches; slots = [] }
+
+    let index t addr = addr / 4 mod t.entries
+
+    (* One instruction per recursion step; stops exactly where
+       [Tracecache.build_trace_limits] stops (the width check at the
+       loop head covers the hit-width-exactly-at-block-end case, where
+       the block's branch is still recorded). *)
+    let build t view (pos : View.pos) =
+      let len = View.length view in
+      let rec go n br outs idx off =
+        if idx >= len || n >= t.width then (n, br, outs, idx, off)
+        else
+          let n = n + 1 and off = off + 1 in
+          if off < View.block_size view idx then go n br outs idx off
+          else
+            let br, outs =
+              if View.has_branch view idx then
+                ( br + 1,
+                  if View.taken view idx then outs lor (1 lsl br) else outs )
+              else (br, outs)
+            in
+            if br >= t.max_branches then (n, br, outs, idx + 1, 0)
+            else go n br outs (idx + 1) 0
+      in
+      go 0 0 0 pos.View.idx pos.View.off
+
+    let lookup t view (pos : View.pos) =
+      let a = View.addr view pos in
+      match List.assoc_opt (index t a) t.slots with
+      | Some e when e.start_addr = a ->
+        let n, br, outs, eidx, eoff = build t view pos in
+        if n = e.n && br = e.br && outs = e.outs then Some (n, eidx, eoff)
+        else None
+      | Some _ | None -> None
+
+    let fill t view (pos : View.pos) =
+      let a = View.addr view pos in
+      let n, br, outs, _, _ = build t view pos in
+      if n > 0 then begin
+        let i = index t a in
+        t.slots <-
+          (i, { start_addr = a; n; br; outs }) :: List.remove_assoc i t.slots
+      end
+  end
+
+  (* The SEQ.3 cycle model of Section 7.1, re-derived from the paper:
+     per cycle either a whole trace-cache trace, or instructions from
+     the fetch address one at a time until a taken branch, the third
+     branch, the end of the two-line window or the end of the stream.
+     [Engine.run_naive] takes whole blocks per inner step; supplying
+     instruction-by-instruction must land on the same boundaries. *)
+  let fetch ?(config = Engine.Config.default) ?icache ?trace_cache ?on_access
+      view =
+    let line = config.Engine.Config.line_bytes in
+    let max_branches = config.Engine.Config.max_branches in
+    let miss_penalty = config.Engine.Config.miss_penalty in
+    let len = View.length view in
+    let cycles = ref 0 and penalties = ref 0 and instrs = ref 0 in
+    let seq_cycles = ref 0 and tc_cycles = ref 0 in
+    let cond_branches = ref 0 in
+    let accs = ref 0 and misses = ref 0 and vhits = ref 0 in
+    let lookups = ref 0 and tc_hits = ref 0 in
+    let access a =
+      match icache with
+      | None -> true
+      | Some c ->
+        incr accs;
+        let o = Icache.access c a in
+        (match on_access with Some f -> f ~addr:a o | None -> ());
+        (match o with
+        | Real_icache.Hit -> true
+        | Real_icache.Victim_hit ->
+          incr vhits;
+          true
+        | Real_icache.Miss ->
+          incr misses;
+          false)
+    in
+    let idx = ref 0 and off = ref 0 in
+    while !idx < len do
+      let pos = { View.idx = !idx; off = !off } in
+      let hit =
+        match trace_cache with
+        | None -> None
+        | Some tc ->
+          incr lookups;
+          let r = Tracecache.lookup tc view pos in
+          (match r with Some _ -> incr tc_hits | None -> ());
+          r
+      in
+      match hit with
+      | Some (n, eidx, eoff) ->
+        (* a trace-cache hit supplies the whole trace in one cycle;
+           [fill] never stores empty traces, so n > 0 *)
+        incr cycles;
+        incr tc_cycles;
+        instrs := !instrs + n;
+        for i = !idx to eidx - 1 do
+          if View.is_cond view i then incr cond_branches
+        done;
+        idx := eidx;
+        off := eoff
+      | None ->
+        (* sequential cycle: two consecutive lines, then supply *)
+        incr cycles;
+        incr seq_cycles;
+        let a = View.addr view pos in
+        let line_no = a / line in
+        let h1 = access (line_no * line) in
+        let h2 = access ((line_no + 1) * line) in
+        if not (h1 && h2) then penalties := !penalties + miss_penalty;
+        let window_end = (line_no + 2) * line in
+        let branches = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          (* invariant: the instruction at (idx, off) exists and lies
+             inside the window *)
+          incr instrs;
+          incr off;
+          if !off < View.block_size view !idx then begin
+            if View.addr view { View.idx = !idx; off = !off } >= window_end
+            then stop := true
+          end
+          else begin
+            let was_branch = View.has_branch view !idx in
+            let taken = View.taken view !idx in
+            if was_branch then incr branches;
+            if View.is_cond view !idx then incr cond_branches;
+            incr idx;
+            off := 0;
+            if
+              taken
+              || (was_branch && !branches >= max_branches)
+              || !idx >= len
+            then stop := true
+            else if View.addr view { View.idx = !idx; off = 0 } >= window_end
+            then stop := true
+          end
+        done;
+        (match trace_cache with
+        | Some tc -> Tracecache.fill tc view pos
+        | None -> ())
+    done;
+    {
+      Engine.instrs = !instrs;
+      cycles = !cycles + !penalties;
+      fetch_cycles = !cycles;
+      seq_cycles = !seq_cycles;
+      tc_cycles = !tc_cycles;
+      icache_accesses = !accs;
+      icache_misses = !misses;
+      icache_victim_hits = !vhits;
+      tc_lookups = !lookups;
+      tc_hits = !tc_hits;
+      taken_branches = View.taken_branches view;
+      instrs_between_taken = View.instrs_between_taken view;
+      cond_branches = !cond_branches;
+      mispredictions = 0;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Differential runners                                                *)
+(* ------------------------------------------------------------------ *)
+
+type cache_case = {
+  case_name : string;
+  kb : int;
+  assoc : int;
+  victim_lines : int;
+  tc : bool;
+}
+
+let default_cases =
+  [
+    { case_name = "8kb-direct"; kb = 8; assoc = 1; victim_lines = 0; tc = false };
+    {
+      case_name = "8kb-victim16";
+      kb = 8;
+      assoc = 1;
+      victim_lines = 16;
+      tc = false;
+    };
+    { case_name = "16kb-2way"; kb = 16; assoc = 2; victim_lines = 0; tc = false };
+    {
+      case_name = "16kb-direct-tc";
+      kb = 16;
+      assoc = 1;
+      victim_lines = 0;
+      tc = true;
+    };
+    { case_name = "ideal-tc"; kb = 0; assoc = 1; victim_lines = 0; tc = true };
+  ]
+
+type mismatch = {
+  field : string;
+  m_oracle : float;
+  m_naive : float;
+  m_packed : float;
+}
+
+type engine_report = {
+  er_layout : string;
+  er_case : string;
+  er_mismatches : mismatch list;
+  er_divergence : string option;
+}
+
+let outcome_name = function
+  | Real_icache.Hit -> "hit"
+  | Real_icache.Victim_hit -> "victim-hit"
+  | Real_icache.Miss -> "miss"
+
+let rec combine3 a b c =
+  match (a, b, c) with
+  | [], [], [] -> []
+  | (f, va) :: ta, (_, vb) :: tb, (_, vc) :: tc ->
+    (f, va, vb, vc) :: combine3 ta tb tc
+  | _ -> invalid_arg "Stc_check.combine3: field lists differ in length"
+
+let diff_engines ?config ~layout_name view case =
+  let real_icache () =
+    if case.kb = 0 then None
+    else
+      Some
+        (Real_icache.create ~assoc:case.assoc ~victim_lines:case.victim_lines
+           ~size_bytes:(case.kb * 1024) ())
+  in
+  let real_tc () = if case.tc then Some (Real_tc.create ()) else None in
+  (* lockstep shadow: every oracle i-cache access is replayed into a
+     private real cache; the first differing outcome is where the two
+     models' state forked *)
+  let shadow = real_icache () in
+  let divergence = ref None in
+  let access_no = ref 0 in
+  let on_access ~addr out =
+    incr access_no;
+    match shadow with
+    | None -> ()
+    | Some c ->
+      let got = Real_icache.access_uncounted c addr in
+      if got <> out && !divergence = None then
+        divergence :=
+          Some
+            (Printf.sprintf "access #%d (addr 0x%x): oracle %s, icache %s"
+               !access_no addr (outcome_name out) (outcome_name got))
+  in
+  let oracle_icache =
+    if case.kb = 0 then None
+    else
+      Some
+        (Oracle.Icache.create ~assoc:case.assoc
+           ~victim_lines:case.victim_lines ~size_bytes:(case.kb * 1024) ())
+  in
+  let oracle_tc = if case.tc then Some (Oracle.Tracecache.create ()) else None in
+  let o =
+    Oracle.fetch ?config ?icache:oracle_icache ?trace_cache:oracle_tc
+      ~on_access view
+  in
+  let n =
+    Engine.run_naive ?config ?icache:(real_icache ()) ?trace_cache:(real_tc ())
+      view
+  in
+  let p =
+    Engine.run_packed ?config ?icache:(real_icache ())
+      ?trace_cache:(real_tc ()) (View.pack view)
+  in
+  let er_mismatches =
+    combine3 (Engine.result_fields o) (Engine.result_fields n)
+      (Engine.result_fields p)
+    |> List.filter_map (fun (field, vo, vn, vp) ->
+           if vo = vn && vn = vp then None
+           else Some { field; m_oracle = vo; m_naive = vn; m_packed = vp })
+  in
+  {
+    er_layout = layout_name;
+    er_case = case.case_name;
+    er_mismatches;
+    er_divergence = !divergence;
+  }
+
+let diff_icache_stream ?(accesses = 20_000) ~seed ~assoc ~victim_lines
+    ~size_bytes () =
+  let rng = Stc_util.Rng.create (Int64.of_int seed) in
+  let real = Real_icache.create ~assoc ~victim_lines ~size_bytes () in
+  let oracle = Oracle.Icache.create ~assoc ~victim_lines ~size_bytes () in
+  let divergence = ref None in
+  let i = ref 0 in
+  while !divergence = None && !i < accesses do
+    incr i;
+    (* 4× the cache in address span keeps conflicts frequent *)
+    let addr = Stc_util.Rng.int rng (size_bytes * 4) / 4 * 4 in
+    let a = Real_icache.access_uncounted real addr in
+    let b = Oracle.Icache.access oracle addr in
+    if a <> b then
+      divergence :=
+        Some
+          (Printf.sprintf "access #%d (addr 0x%x): oracle %s, icache %s" !i
+             addr (outcome_name b) (outcome_name a))
+  done;
+  !divergence
+
+(* ------------------------------------------------------------------ *)
+(* The bundle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type layout_report = {
+  lr_name : string;
+  lr_violations : Layouts.violation list;
+}
+
+type report = {
+  r_layouts : layout_report list;
+  r_engines : engine_report list;
+  r_icache : (string * string option) list;
+}
+
+let check_cache_bytes = 16 * 1024
+
+let check_cfa_bytes = 4 * 1024
+
+let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
+  Run.span ctx "check" @@ fun () ->
+  let counter name =
+    match ctx.Run.metrics with
+    | None -> None
+    | Some reg -> Some (Stc_obs.Registry.counter reg name)
+  in
+  let bump c n =
+    match c with
+    | None -> ()
+    | Some c -> Stc_obs.Metric.Counter.add c n
+  in
+  let c_layouts = counter "check.layouts"
+  and c_violations = counter "check.violations"
+  and c_cases = counter "check.engine_cases"
+  and c_mismatches = counter "check.engine_mismatches" in
+  let profile = pl.Pipeline.profile in
+  let prog = pl.Pipeline.program in
+  (* every layout algorithm at the simulation grid's thresholds *)
+  let r_layouts =
+    Run.span ctx "check-layouts" @@ fun () ->
+    let params =
+      L.Stc.params ~exec_threshold:50 ~branch_threshold:0.3
+        ~cache_bytes:check_cache_bytes ~cfa_bytes:check_cfa_bytes ()
+    in
+    let torr_plan =
+      L.Torrellas.plan profile ~seq_params:params.L.Stc.seq
+        ~cfa_bytes:check_cfa_bytes
+    in
+    let auto_plan =
+      L.Stc.plan profile ~params ~seeds:(L.Stc.auto_seeds profile)
+    in
+    let ops_plan =
+      L.Stc.plan profile ~params ~seeds:(L.Stc.ops_seeds profile)
+    in
+    let mapped name plan =
+      Mapping.map_plan prog ~name ~cache_bytes:check_cache_bytes
+        ~cfa_bytes:check_cfa_bytes plan
+    in
+    let subjects =
+      [
+        ("orig", L.Original.layout prog, None);
+        ("P&H", L.Pettis_hansen.layout profile, None);
+        ("Torr", mapped "Torr" torr_plan, Some torr_plan);
+        ("auto", mapped "auto" auto_plan, Some auto_plan);
+        ("ops", mapped "ops" ops_plan, Some ops_plan);
+      ]
+    in
+    List.map
+      (fun (lr_name, layout, plan) ->
+        let cfa_plan =
+          Option.map
+            (fun p -> (p, check_cache_bytes, check_cfa_bytes))
+            plan
+        in
+        let lr_violations = Layouts.all ?cfa_plan profile layout in
+        bump c_layouts 1;
+        bump c_violations (List.length lr_violations);
+        Run.event ctx ~kind:"check.layout"
+          [
+            ("layout", Json.Str lr_name);
+            ("violations", Json.Int (List.length lr_violations));
+            ( "first",
+              match lr_violations with
+              | [] -> Json.Null
+              | v :: _ -> Json.Str (Layouts.violation_to_string v) );
+          ];
+        { lr_name; lr_violations })
+      subjects
+  in
+  (* engine differential on the test trace, over a CFA layout and the
+     original one *)
+  let r_engines =
+    Run.span ctx "check-engines" @@ fun () ->
+    let params =
+      L.Stc.params ~exec_threshold:50 ~branch_threshold:0.3
+        ~cache_bytes:check_cache_bytes ~cfa_bytes:check_cfa_bytes ()
+    in
+    let ops =
+      L.Stc.layout profile ~name:"ops" ~params
+        ~seeds:(L.Stc.ops_seeds profile)
+    in
+    let views =
+      [
+        ("orig", View.create prog (L.Original.layout prog) pl.Pipeline.test);
+        ("ops", View.create prog ops pl.Pipeline.test);
+      ]
+    in
+    List.concat_map
+      (fun (layout_name, view) ->
+        List.map
+          (fun case ->
+            let r = diff_engines ~layout_name view case in
+            bump c_cases 1;
+            bump c_mismatches (List.length r.er_mismatches);
+            Run.event ctx ~kind:"check.engine"
+              [
+                ("layout", Json.Str r.er_layout);
+                ("case", Json.Str r.er_case);
+                ("mismatches", Json.Int (List.length r.er_mismatches));
+                ( "divergence",
+                  match r.er_divergence with
+                  | None -> Json.Null
+                  | Some d -> Json.Str d );
+              ];
+            r)
+          default_cases)
+      views
+  in
+  (* seeded random-address streams over three geometries *)
+  let r_icache =
+    Run.span ctx "check-icache-stream" @@ fun () ->
+    let seed = Option.value ctx.Run.seed ~default:1 in
+    List.map
+      (fun (name, assoc, victim_lines, kb) ->
+        ( name,
+          diff_icache_stream ~seed ~assoc ~victim_lines
+            ~size_bytes:(kb * 1024) () ))
+      [
+        ("4kb-direct", 1, 0, 4);
+        ("4kb-direct-victim4", 1, 4, 4);
+        ("8kb-2way-victim8", 2, 8, 8);
+      ]
+  in
+  { r_layouts; r_engines; r_icache }
+
+let ok r =
+  List.for_all (fun l -> l.lr_violations = []) r.r_layouts
+  && List.for_all
+       (fun e -> e.er_mismatches = [] && e.er_divergence = None)
+       r.r_engines
+  && List.for_all (fun (_, d) -> d = None) r.r_icache
+
+let print_report r =
+  Printf.printf "Layout validators:\n";
+  List.iter
+    (fun l ->
+      match l.lr_violations with
+      | [] -> Printf.printf "  %-6s ok\n" l.lr_name
+      | vs ->
+        Printf.printf "  %-6s %d violation(s)\n" l.lr_name (List.length vs);
+        List.iter
+          (fun v -> Printf.printf "    - %s\n" (Layouts.violation_to_string v))
+          vs)
+    r.r_layouts;
+  Printf.printf "Engine differential (oracle vs naive vs packed):\n";
+  List.iter
+    (fun e ->
+      if e.er_mismatches = [] && e.er_divergence = None then
+        Printf.printf "  %-5s %-15s ok\n" e.er_layout e.er_case
+      else begin
+        Printf.printf "  %-5s %-15s FAIL\n" e.er_layout e.er_case;
+        List.iter
+          (fun m ->
+            Printf.printf "    - %s: oracle %.6f, naive %.6f, packed %.6f\n"
+              m.field m.m_oracle m.m_naive m.m_packed)
+          e.er_mismatches;
+        match e.er_divergence with
+        | Some d -> Printf.printf "    - first divergence: %s\n" d
+        | None -> ()
+      end)
+    r.r_engines;
+  Printf.printf "I-cache random-stream differential:\n";
+  List.iter
+    (fun (name, d) ->
+      match d with
+      | None -> Printf.printf "  %-18s ok\n" name
+      | Some msg -> Printf.printf "  %-18s FAIL: %s\n" name msg)
+    r.r_icache;
+  Printf.printf "check: %s\n" (if ok r then "PASS" else "FAIL")

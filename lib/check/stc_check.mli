@@ -1,0 +1,213 @@
+(** Differential oracles and validators for the simulation pipeline.
+
+    Everything here answers one question: {e is the optimized
+    implementation still computing the thing the paper defines?} Three
+    families of checks:
+
+    - {!Layouts} — structural validators over any {!Stc_layout.Layout.t}
+      (non-overlap, alignment, coverage of executed blocks) plus
+      CFA-containment checks against the {!Stc_layout.Mapping.plan} the
+      algorithm intended, so a mapping bug cannot hide behind a
+      reconstruction of its own output;
+    - {!Oracle} — small, deliberately naive list-based reference models
+      of the i-cache, the victim buffer and the trace cache, plus an
+      instruction-at-a-time SEQ.3 fetch walker. They share no code with
+      [Stc_cachesim] / [Stc_fetch]: arrays, bit masks and batched
+      counters on one side, association lists and recursion on the
+      other, so a bug must be implemented twice to go unnoticed;
+    - the differential runners — replay the same traces through oracle,
+      {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
+      and compare field by field, with a lockstep shadow i-cache that
+      reports the {e first diverging access} rather than just drifted
+      totals.
+
+    {!run_all} bundles all of it over a {!Stc_core.Pipeline.t}; the
+    [stc_repro check] subcommand and the [@check-smoke] alias are thin
+    wrappers around it. With [ctx.metrics] the checks tick [check.*]
+    counters and emit one [check.layout] / [check.engine] event per
+    subject. *)
+
+(** {1 Layout validators} *)
+
+module Layouts : sig
+  type violation =
+    | Wrong_block_count of { expected : int; got : int }
+        (** The layout does not assign an address to every block. *)
+    | Unplaced of { block : int; count : int }
+        (** An executed block (dynamic count [count]) has no valid
+            placement (missing or negative address). *)
+    | Misaligned of { block : int; addr : int }
+        (** Address not a multiple of the instruction size. *)
+    | Overlap of { block_a : int; block_b : int; addr : int }
+        (** Two blocks' byte ranges intersect (at [addr]). *)
+    | Plan_not_partition of { block : int; times : int }
+        (** The mapping plan mentions a block [times] ≠ 1 times across
+            its three parts. *)
+    | Cfa_overflow of { block : int; addr : int; limit : int }
+        (** A CFA-sequence block ends past the Conflict-Free Area. *)
+    | Cfa_intrusion of { block : int; addr : int; window : int }
+        (** A second-pass sequence block intrudes into the CFA window
+            of logical cache number [window]. *)
+
+  val violation_to_string : violation -> string
+
+  val structure :
+    Stc_cfg.Program.t -> Stc_layout.Layout.t -> violation list
+  (** Block count, alignment, non-negative addresses, pairwise
+      non-overlap. *)
+
+  val coverage :
+    Stc_profile.Profile.t -> Stc_layout.Layout.t -> violation list
+  (** Every block the profile executed has a valid placement. *)
+
+  val cfa :
+    Stc_cfg.Program.t ->
+    Stc_layout.Layout.t ->
+    cache_bytes:int ->
+    cfa_bytes:int ->
+    Stc_layout.Mapping.plan ->
+    violation list
+  (** The plan partitions the block set; every first-pass (CFA) block
+      lies wholly inside [\[0, cfa_bytes)]; no second-pass block touches
+      any logical cache's CFA window ([offset mod cache_bytes <
+      cfa_bytes]). Cold blocks are exempt — the paper lets only the
+      rarely-executed code conflict with the CFA. *)
+
+  val all :
+    ?cfa_plan:Stc_layout.Mapping.plan * int * int ->
+    Stc_profile.Profile.t ->
+    Stc_layout.Layout.t ->
+    violation list
+  (** {!structure} @ {!coverage} @ (with [?cfa_plan = (plan, cache_bytes,
+      cfa_bytes)]) {!cfa}. *)
+end
+
+(** {1 Reference models} *)
+
+module Oracle : sig
+  (** Association-list i-cache with MRU-ordered ways and victim buffer;
+      outcome-equivalent to {!Stc_cachesim.Icache} by construction. *)
+  module Icache : sig
+    type t
+
+    val create :
+      ?assoc:int ->
+      ?line_bytes:int ->
+      ?victim_lines:int ->
+      size_bytes:int ->
+      unit ->
+      t
+    (** Same defaults as {!Stc_cachesim.Icache.create}. *)
+
+    val access : t -> int -> Stc_cachesim.Icache.outcome
+  end
+
+  (** Association-list trace cache (index → entry), rebuilding traces
+      with an instruction-at-a-time recursion. *)
+  module Tracecache : sig
+    type t
+
+    val create :
+      ?entries:int -> ?width:int -> ?max_branches:int -> unit -> t
+    (** Same defaults as {!Stc_fetch.Tracecache.create}. *)
+  end
+
+  val fetch :
+    ?config:Stc_fetch.Engine.config ->
+    ?icache:Icache.t ->
+    ?trace_cache:Tracecache.t ->
+    ?on_access:(addr:int -> Stc_cachesim.Icache.outcome -> unit) ->
+    Stc_fetch.View.t ->
+    Stc_fetch.Engine.result
+  (** The SEQ.3 fetch model re-derived from the paper's description,
+      supplying one instruction per step instead of one block per step.
+      [on_access] observes every i-cache access in order (the
+      differential runner hooks a lockstep shadow of the real cache
+      here). [mispredictions] is always 0 — the oracle models the
+      paper's perfect-prediction configuration. *)
+end
+
+(** {1 Differential runners} *)
+
+type cache_case = {
+  case_name : string;
+  kb : int;  (** I-cache size in KB; [0] = ideal (no i-cache). *)
+  assoc : int;
+  victim_lines : int;
+  tc : bool;  (** Front the engine with a 256-entry trace cache. *)
+}
+
+val default_cases : cache_case list
+(** Five configurations spanning Table 3's hardware space: 8KB direct,
+    8KB direct + 16-line victim buffer, 16KB 2-way, 16KB direct + trace
+    cache, ideal + trace cache. *)
+
+type mismatch = {
+  field : string;
+  m_oracle : float;
+  m_naive : float;
+  m_packed : float;
+}
+
+type engine_report = {
+  er_layout : string;
+  er_case : string;
+  er_mismatches : mismatch list;
+      (** Fields where oracle, naive and packed disagree (empty = ok). *)
+  er_divergence : string option;
+      (** First i-cache access where the oracle's outcome differs from
+          the real cache's, if any — pinpoints {e where} state first
+          forked, not just that totals drifted. *)
+}
+
+val diff_engines :
+  ?config:Stc_fetch.Engine.config ->
+  layout_name:string ->
+  Stc_fetch.View.t ->
+  cache_case ->
+  engine_report
+(** Replay the view through {!Oracle.fetch},
+    {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
+    (fresh caches each) and compare every {!Stc_fetch.Engine.result}
+    field. *)
+
+val diff_icache_stream :
+  ?accesses:int ->
+  seed:int ->
+  assoc:int ->
+  victim_lines:int ->
+  size_bytes:int ->
+  unit ->
+  string option
+(** Drive the oracle and the real i-cache with the same seeded random
+    address stream; [Some msg] describes the first diverging access. *)
+
+(** {1 The bundle} *)
+
+type layout_report = {
+  lr_name : string;
+  lr_violations : Layouts.violation list;
+}
+
+type report = {
+  r_layouts : layout_report list;
+      (** Original, P&H, Torrellas, STC-auto, STC-ops. *)
+  r_engines : engine_report list;
+      (** {!default_cases} over the orig and ops layouts. *)
+  r_icache : (string * string option) list;
+      (** Random-stream i-cache differentials per geometry. *)
+}
+
+val run_all : ?ctx:Stc_core.Run.ctx -> Stc_core.Pipeline.t -> report
+(** Build all five layouts from the pipeline's profile (16KB cache, 4KB
+    CFA, the simulation grid's thresholds), validate each; run the
+    engine differential on the test trace over the orig and ops views
+    for every {!default_cases} entry; run the seeded i-cache stream
+    differential on three geometries. Of [ctx], [metrics] feeds the
+    [check.*] counters and events, [seed] seeds the address streams. *)
+
+val ok : report -> bool
+
+val print_report : report -> unit
+(** Human-readable summary on stdout (one line per subject, violations
+    and divergences spelled out). *)

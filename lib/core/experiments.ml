@@ -159,6 +159,13 @@ type row = {
   tc_hit_pct : float;
 }
 
+let row_to_string r =
+  Printf.sprintf "%s cache=%d cfa=%s %s miss=%.6f bw=%.6f ibt=%.6f tc=%.6f"
+    r.layout r.cache_kb
+    (match r.cfa_kb with Some k -> string_of_int k | None -> "-")
+    (variant_name r.variant) r.miss_pct r.bandwidth r.instrs_between_taken
+    r.tc_hit_pct
+
 let engine_config (c : sim_config) =
   F.Engine.Config.make ~line_bytes:c.line_bytes ~miss_penalty:c.miss_penalty ()
 
@@ -804,6 +811,10 @@ let ablation ?(ctx = Run.default) ?(cache_kb = 32)
     ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
     (pl : Pipeline.t) =
   ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
+
+let ablation_row_to_string r =
+  Printf.sprintf "exec=%d branch=%.2f cfa=%d miss=%.6f bw=%.6f" r.a_exec
+    r.a_branch r.a_cfa_kb r.a_miss_pct r.a_bandwidth
 
 let print_ablation rows =
   let t =

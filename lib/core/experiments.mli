@@ -68,6 +68,10 @@ type row = {
   tc_hit_pct : float;  (** Trace-cache hit rate; 0 when no trace cache. *)
 }
 
+val row_to_string : row -> string
+(** One stable, locale-independent line per row ([%.6f] floats) — the
+    golden-regression snapshot format of [tools/golden]. *)
+
 val simulate : ?ctx:Run.ctx -> ?config:sim_config -> Pipeline.t -> row list
 (** Run every configuration of Tables 3 and 4 once over the Test trace
     (each row is one trace-driven simulation). Layout construction is a
@@ -120,5 +124,8 @@ val ablation :
     [ctx.metrics], each sweep point emits one [ablation.cell] event.
     [ctx.store] caches the swept layouts and per-point engine results
     exactly as in {!simulate}. *)
+
+val ablation_row_to_string : ablation_row -> string
+(** Stable one-line rendering, as {!row_to_string}. *)
 
 val print_ablation : ablation_row list -> unit

@@ -41,6 +41,24 @@ let miss_rate_pct r =
   if r.instrs = 0 then 0.0
   else 100.0 *. float_of_int r.icache_misses /. float_of_int r.instrs
 
+let result_fields r =
+  [
+    ("instrs", float_of_int r.instrs);
+    ("cycles", float_of_int r.cycles);
+    ("fetch_cycles", float_of_int r.fetch_cycles);
+    ("seq_cycles", float_of_int r.seq_cycles);
+    ("tc_cycles", float_of_int r.tc_cycles);
+    ("icache_accesses", float_of_int r.icache_accesses);
+    ("icache_misses", float_of_int r.icache_misses);
+    ("icache_victim_hits", float_of_int r.icache_victim_hits);
+    ("tc_lookups", float_of_int r.tc_lookups);
+    ("tc_hits", float_of_int r.tc_hits);
+    ("taken_branches", float_of_int r.taken_branches);
+    ("instrs_between_taken", r.instrs_between_taken);
+    ("cond_branches", float_of_int r.cond_branches);
+    ("mispredictions", float_of_int r.mispredictions);
+  ]
+
 let publish reg r =
   let module Reg = Stc_obs.Registry in
   let module C = Stc_obs.Metric.Counter in

@@ -60,6 +60,11 @@ type result = {
 val bandwidth : result -> float
 (** Instructions per cycle. *)
 
+val result_fields : result -> (string * float) list
+(** Every field of a result as a [(name, value)] list, in declaration
+    order — the surface differential checkers ({!Stc_check}) compare
+    field by field so a divergence names the counter that drifted. *)
+
 val miss_rate_pct : result -> float
 (** I-cache misses per 100 instructions executed (the unit of Table 3). *)
 

@@ -16,6 +16,12 @@ let fit_cfa prog ~cfa_bytes seqs =
   in
   go 0 [] [] seqs
 
+type plan = {
+  cfa_seqs : int list list;
+  other_seqs : int list list;
+  cold : int list;
+}
+
 let map prog ~name ~cache_bytes ~cfa_bytes ~cfa_seqs ~other_seqs ~cold =
   if cfa_bytes < 0 || cfa_bytes > cache_bytes then
     invalid_arg "Mapping.map: cfa_bytes out of range";
@@ -94,3 +100,6 @@ let map prog ~name ~cache_bytes ~cfa_bytes ~cfa_seqs ~other_seqs ~cold =
   in
   List.iter place_cold cold;
   Layout.of_placements prog ~name !placements
+
+let map_plan prog ~name ~cache_bytes ~cfa_bytes { cfa_seqs; other_seqs; cold } =
+  map prog ~name ~cache_bytes ~cfa_bytes ~cfa_seqs ~other_seqs ~cold

@@ -11,6 +11,29 @@
     rarely executed code is the only thing allowed to conflict with the
     CFA). *)
 
+type plan = {
+  cfa_seqs : int list list;
+      (** Whole sequences for the Conflict-Free Area, in placement order. *)
+  other_seqs : int list list;
+      (** Remaining sequences, mapped around the CFA windows. *)
+  cold : int list;  (** Everything else; fills the holes last. *)
+}
+(** The partition a mapping consumes — exposed (and returned by
+    {!Stc.plan} / {!Torrellas.plan}) so that checkers like
+    [Stc_check.Layouts] can verify CFA containment against the exact
+    block sets the algorithm intended, not a reconstruction. *)
+
+val map_plan :
+  Stc_cfg.Program.t ->
+  name:string ->
+  cache_bytes:int ->
+  cfa_bytes:int ->
+  plan ->
+  Layout.t
+(** The plan's three parts must partition all blocks. Raises
+    [Invalid_argument] if the CFA sequences exceed [cfa_bytes], or on a
+    malformed partition (via layout validation). *)
+
 val map :
   Stc_cfg.Program.t ->
   name:string ->
@@ -20,9 +43,7 @@ val map :
   other_seqs:int list list ->
   cold:int list ->
   Layout.t
-(** The three inputs must partition all blocks. Raises [Invalid_argument]
-    if the CFA sequences exceed [cfa_bytes], or on a malformed partition
-    (via layout validation). *)
+(** {!map_plan} with the partition spread over labelled arguments. *)
 
 val fit_cfa :
   Stc_cfg.Program.t ->

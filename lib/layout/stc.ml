@@ -106,7 +106,7 @@ let first_pass profile ~seeds ~params =
     bisect 1 (max_count + 1) []
   end
 
-let layout profile ~name ~params ~seeds =
+let plan profile ~params ~seeds =
   let prog = Profile.program profile in
   let n = Array.length prog.Program.blocks in
   (* pass 1: hot, whole sequences for the Conflict-Free Area *)
@@ -124,5 +124,9 @@ let layout profile ~name ~params ~seeds =
   Seqbuild.covered cfa_seqs covered;
   Seqbuild.covered other_seqs covered;
   let cold = cold_blocks prog covered in
-  Mapping.map prog ~name ~cache_bytes:params.cache_bytes
-    ~cfa_bytes:params.cfa_bytes ~cfa_seqs ~other_seqs ~cold
+  { Mapping.cfa_seqs; other_seqs; cold }
+
+let layout profile ~name ~params ~seeds =
+  Mapping.map_plan (Profile.program profile) ~name
+    ~cache_bytes:params.cache_bytes ~cfa_bytes:params.cfa_bytes
+    (plan profile ~params ~seeds)

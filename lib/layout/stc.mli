@@ -33,11 +33,21 @@ val sequences :
   Stc_profile.Profile.t -> params:params -> seeds:int list -> int list list
 (** The raw greedy sequences (exposed for tests and ablations). *)
 
+val plan :
+  Stc_profile.Profile.t ->
+  params:params ->
+  seeds:int list ->
+  Mapping.plan
+(** The two-pass partition {!layout} maps: first-pass whole sequences
+    fitted into the CFA, the second-pass sequences (plus first-pass
+    spill), and the cold remainder. Exposed so checkers can verify the
+    resulting layout against the exact intended block sets. *)
+
 val layout :
   Stc_profile.Profile.t ->
   name:string ->
   params:params ->
   seeds:int list ->
   Layout.t
-(** Full pipeline: sequences → CFA fit → mapping; blocks not in any
+(** Full pipeline: {!plan} → {!Mapping.map_plan}; blocks not in any
     sequence are laid out in original textual order after the sequences. *)

@@ -2,7 +2,7 @@ module Profile = Stc_profile.Profile
 module Program = Stc_cfg.Program
 module Block = Stc_cfg.Block
 
-let layout profile ~seq_params ~cache_bytes ~cfa_bytes =
+let plan profile ~seq_params ~cfa_bytes =
   let prog = Profile.program profile in
   let n = Array.length prog.Program.blocks in
   let counts = Profile.counts profile in
@@ -56,5 +56,9 @@ let layout profile ~seq_params ~cache_bytes ~cfa_bytes =
           if (not covered.(bid)) && not in_cfa.(bid) then cold := bid :: !cold)
         p.Stc_cfg.Proc.blocks)
     prog.Program.procs;
-  Mapping.map prog ~name:"Torr" ~cache_bytes ~cfa_bytes
-    ~cfa_seqs:[ cfa_blocks ] ~other_seqs ~cold:(List.rev !cold)
+  { Mapping.cfa_seqs = [ cfa_blocks ]; other_seqs; cold = List.rev !cold }
+
+let layout profile ~seq_params ~cache_bytes ~cfa_bytes =
+  Mapping.map_plan (Profile.program profile) ~name:"Torr" ~cache_bytes
+    ~cfa_bytes
+    (plan profile ~seq_params ~cfa_bytes)

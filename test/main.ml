@@ -17,4 +17,5 @@ let () =
       ("core", Test_core.suite);
       ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);
+      ("check", Test_check.suite);
     ]

@@ -1,0 +1,261 @@
+(* Stc_check: the checkers must accept every real layout algorithm's
+   output on randomized profiled programs, reject hand-corrupted
+   layouts/plans, and the reference oracles must agree with the
+   optimized simulators. *)
+
+module C = Stc_check
+module L = Stc_layout
+module F = Stc_fetch
+module Builder = Stc_cfg.Builder
+module Terminator = Stc_cfg.Terminator
+module Profile = Stc_profile.Profile
+module Recorder = Stc_trace.Recorder
+
+(* Random (program, trace) pairs: the skeleton recipe of Test_fetch. *)
+let trace_of_skeleton = Test_fetch.trace_of_skeleton
+
+let gen_skeleton = Test_fetch.gen_skeleton
+
+let profile_of prog rec_ =
+  let p = Profile.create prog in
+  for i = 0 to Recorder.length rec_ - 1 do
+    Profile.sink p (Recorder.get rec_ i)
+  done;
+  p
+
+let check_cache_bytes = 512
+
+let check_cfa_bytes = 128
+
+let fail_violations name = function
+  | [] -> ()
+  | v :: _ as vs ->
+    QCheck.Test.fail_reportf "%s: %d violation(s), first: %s" name
+      (List.length vs)
+      (C.Layouts.violation_to_string v)
+
+(* Every layout algorithm, randomized programs, zero violations. *)
+let prop_layouts_valid =
+  QCheck.Test.make ~name:"layout algorithms produce zero violations"
+    ~count:40
+    QCheck.(make gen_skeleton)
+    (fun skel ->
+      let prog, rec_ = trace_of_skeleton skel in
+      let profile = profile_of prog rec_ in
+      fail_violations "orig"
+        (C.Layouts.all profile (L.Original.layout prog));
+      fail_violations "P&H"
+        (C.Layouts.all profile (L.Pettis_hansen.layout profile));
+      let torr_plan =
+        L.Torrellas.plan profile ~seq_params:L.Seqbuild.default_params
+          ~cfa_bytes:check_cfa_bytes
+      in
+      let torr =
+        L.Mapping.map_plan prog ~name:"torr" ~cache_bytes:check_cache_bytes
+          ~cfa_bytes:check_cfa_bytes torr_plan
+      in
+      fail_violations "Torr"
+        (C.Layouts.all
+           ~cfa_plan:(torr_plan, check_cache_bytes, check_cfa_bytes)
+           profile torr);
+      let params =
+        L.Stc.params ~cache_bytes:check_cache_bytes
+          ~cfa_bytes:check_cfa_bytes ()
+      in
+      let stc_plan =
+        L.Stc.plan profile ~params ~seeds:(L.Stc.auto_seeds profile)
+      in
+      let stc =
+        L.Mapping.map_plan prog ~name:"auto" ~cache_bytes:check_cache_bytes
+          ~cfa_bytes:check_cfa_bytes stc_plan
+      in
+      fail_violations "auto"
+        (C.Layouts.all
+           ~cfa_plan:(stc_plan, check_cache_bytes, check_cfa_bytes)
+           profile stc);
+      true)
+
+(* ---------- corruption is detected ---------- *)
+
+let straight_prog n =
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let blocks = Array.init n (fun _ -> Builder.new_block b ~pid:p ~size:4) in
+  Array.iteri
+    (fun i bid ->
+      if i < n - 1 then Builder.set_term b bid (Terminator.Fall blocks.(i + 1))
+      else Builder.set_term b bid Terminator.Ret)
+    blocks;
+  Builder.finish_proc b ~pid:p ~entry:blocks.(0) ~blocks;
+  Builder.build b
+
+let has pred vs = List.exists pred vs
+
+let test_detects_corruption () =
+  let prog = straight_prog 8 in
+  let good = L.Original.layout prog in
+  let corrupt f =
+    let addr = Array.copy good.L.Layout.addr in
+    f addr;
+    { L.Layout.name = "corrupt"; addr }
+  in
+  (* overlapping placement *)
+  let vs =
+    C.Layouts.structure prog (corrupt (fun a -> a.(3) <- a.(2)))
+  in
+  Alcotest.(check bool)
+    "overlap detected" true
+    (has (function C.Layouts.Overlap _ -> true | _ -> false) vs);
+  (* misalignment *)
+  let vs =
+    C.Layouts.structure prog (corrupt (fun a -> a.(5) <- a.(5) + 2))
+  in
+  Alcotest.(check bool)
+    "misalignment detected" true
+    (has (function C.Layouts.Misaligned _ -> true | _ -> false) vs);
+  (* wrong block count *)
+  let truncated =
+    { L.Layout.name = "short"; addr = Array.sub good.L.Layout.addr 0 4 }
+  in
+  Alcotest.(check bool)
+    "wrong count detected" true
+    (has
+       (function C.Layouts.Wrong_block_count _ -> true | _ -> false)
+       (C.Layouts.structure prog truncated));
+  (* executed block without a valid placement *)
+  let profile = Profile.create prog in
+  Profile.inject_block profile 2 ~count:7;
+  let vs = C.Layouts.coverage profile (corrupt (fun a -> a.(2) <- -64)) in
+  Alcotest.(check bool)
+    "unplaced executed block detected" true
+    (has
+       (function
+         | C.Layouts.Unplaced { block = 2; count = 7 } -> true | _ -> false)
+       vs);
+  Alcotest.(check (list bool))
+    "good layout is clean" []
+    (List.map (fun _ -> true) (C.Layouts.all profile good))
+
+let test_detects_bad_plan () =
+  let prog = straight_prog 8 in
+  let cache_bytes = 64 and cfa_bytes = 32 in
+  (* blocks are 16 bytes each: 0-1 fit the CFA, 2..5 second pass, 6-7
+     cold — a valid partition the mapping lays out cleanly *)
+  let plan =
+    {
+      L.Mapping.cfa_seqs = [ [ 0; 1 ] ];
+      other_seqs = [ [ 2; 3 ]; [ 4; 5 ] ];
+      cold = [ 6; 7 ];
+    }
+  in
+  let layout =
+    L.Mapping.map_plan prog ~name:"plan" ~cache_bytes ~cfa_bytes plan
+  in
+  Alcotest.(check (list string))
+    "valid plan is clean" []
+    (List.map C.Layouts.violation_to_string
+       (C.Layouts.cfa prog layout ~cache_bytes ~cfa_bytes plan));
+  (* a block mentioned twice / a block missing *)
+  let bad =
+    { plan with L.Mapping.cold = [ 6; 6 ] (* 7 missing, 6 twice *) }
+  in
+  let vs = C.Layouts.cfa prog layout ~cache_bytes ~cfa_bytes bad in
+  Alcotest.(check bool)
+    "duplicate detected" true
+    (has
+       (function
+         | C.Layouts.Plan_not_partition { block = 6; times = 2 } -> true
+         | _ -> false)
+       vs);
+  Alcotest.(check bool)
+    "missing block detected" true
+    (has
+       (function
+         | C.Layouts.Plan_not_partition { block = 7; times = 0 } -> true
+         | _ -> false)
+       vs);
+  (* a "CFA" block that actually sits past the CFA boundary *)
+  let claims_more =
+    { plan with L.Mapping.cfa_seqs = [ [ 0; 1 ]; [ 2 ] ]; other_seqs = [ [ 3 ]; [ 4; 5 ] ] }
+  in
+  let vs = C.Layouts.cfa prog layout ~cache_bytes ~cfa_bytes claims_more in
+  Alcotest.(check bool)
+    "CFA overflow detected" true
+    (has (function C.Layouts.Cfa_overflow { block = 2; _ } -> true | _ -> false) vs);
+  (* a second-pass block placed inside a CFA window *)
+  let intruding =
+    {
+      L.Layout.name = "intrude";
+      addr = (let a = Array.copy layout.L.Layout.addr in
+              (* logical cache 1 starts at 64; its CFA window is 64..96 *)
+              a.(3) <- 64 + 16;
+              a)
+    }
+  in
+  let vs = C.Layouts.cfa prog intruding ~cache_bytes ~cfa_bytes plan in
+  Alcotest.(check bool)
+    "CFA intrusion detected" true
+    (has
+       (function
+         | C.Layouts.Cfa_intrusion { block = 3; window = 1; _ } -> true
+         | _ -> false)
+       vs)
+
+(* ---------- oracles vs optimized implementations ---------- *)
+
+let test_oracle_icache_stream () =
+  List.iter
+    (fun (assoc, victim_lines, size_bytes) ->
+      match
+        C.diff_icache_stream ~accesses:50_000 ~seed:7 ~assoc ~victim_lines
+          ~size_bytes ()
+      with
+      | None -> ()
+      | Some msg ->
+        Alcotest.failf "icache oracle diverged (assoc=%d victim=%d): %s"
+          assoc victim_lines msg)
+    [ (1, 0, 1024); (1, 8, 1024); (2, 0, 2048); (4, 16, 4096); (2, 2, 512) ]
+
+let small_cases =
+  [
+    { C.case_name = "1kb-direct"; kb = 1; assoc = 1; victim_lines = 0; tc = false };
+    { C.case_name = "1kb-victim4"; kb = 1; assoc = 1; victim_lines = 4; tc = false };
+    { C.case_name = "1kb-2way-tc"; kb = 1; assoc = 2; victim_lines = 0; tc = true };
+    { C.case_name = "ideal-tc"; kb = 0; assoc = 1; victim_lines = 0; tc = true };
+  ]
+
+let prop_oracle_engines_agree =
+  QCheck.Test.make ~name:"oracle fetch agrees with naive and packed engines"
+    ~count:25
+    QCheck.(pair (make gen_skeleton) (int_bound 10_000))
+    (fun (skel, layout_seed) ->
+      let prog, rec_ = trace_of_skeleton skel in
+      let layout = Test_fetch.random_layout prog layout_seed in
+      let view = F.View.create prog layout rec_ in
+      List.iter
+        (fun case ->
+          let r = C.diff_engines ~layout_name:"rand" view case in
+          (match r.C.er_mismatches with
+          | [] -> ()
+          | m :: _ ->
+            QCheck.Test.fail_reportf
+              "%s: %s differs (oracle %.1f, naive %.1f, packed %.1f)"
+              case.C.case_name m.C.field m.C.m_oracle m.C.m_naive m.C.m_packed);
+          match r.C.er_divergence with
+          | None -> ()
+          | Some d ->
+            QCheck.Test.fail_reportf "%s: icache diverged: %s"
+              case.C.case_name d)
+        small_cases;
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "detects corrupted layouts" `Quick
+      test_detects_corruption;
+    Alcotest.test_case "detects malformed plans" `Quick test_detects_bad_plan;
+    Alcotest.test_case "oracle icache matches real icache" `Quick
+      test_oracle_icache_stream;
+    QCheck_alcotest.to_alcotest prop_layouts_valid;
+    QCheck_alcotest.to_alcotest prop_oracle_engines_agree;
+  ]

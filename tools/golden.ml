@@ -1,0 +1,153 @@
+(* Golden-regression harness: regenerate the quick-config experiment
+   outputs and diff them against committed snapshots.
+
+     golden [--update] [--golden DIR] [--jobs N] [--seed N]
+
+   One quick pipeline run (seeded, default 1) produces three artifacts:
+
+     simulate_rows.txt   Experiments.simulate, one row_to_string per line
+     ablation_rows.txt   Experiments.ablation, one line per sweep point
+     metrics.jsonl       the full Stc_obs.Export of the run
+
+   Without --update each is compared against DIR (default "golden"): the
+   row files byte for byte, the metrics export through Stc_obs.Diff with
+   store.* ignored (the artifact store may or may not be warm) — which
+   also ignores span seconds, so the comparison is stable across
+   machines and --jobs values (the registry's determinism guarantee).
+   A missing snapshot is a hard error, never a silent pass: regenerate
+   with --update and commit the result.
+
+   Exit codes: 0 clean, 1 drift, 2 usage/missing-snapshot error. *)
+
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+module Run = Stc_core.Run
+module Obs = Stc_obs
+
+let usage () =
+  prerr_endline "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N]";
+  exit 2
+
+let parse_args () =
+  let update = ref false
+  and dir = ref "golden"
+  and jobs = ref 1
+  and seed = ref 1 in
+  let rec go = function
+    | [] -> ()
+    | "--update" :: rest ->
+      update := true;
+      go rest
+    | "--golden" :: d :: rest ->
+      dir := d;
+      go rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with Some j when j >= 1 -> jobs := j | _ -> usage ());
+      go rest
+    | "--seed" :: v :: rest ->
+      (match int_of_string_opt v with Some s -> seed := s | _ -> usage ());
+      go rest
+    | _ -> usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  (!update, !dir, !jobs, !seed)
+
+let write_lines path lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc
+
+let read_lines path =
+  try
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        Ok (List.rev acc)
+    in
+    go []
+  with Sys_error e -> Error e
+
+(* First differing line wins the report; a length difference with a
+   common prefix is reported as the first missing/extra line. *)
+let diff_lines ~name golden current =
+  let rec go i g c =
+    match (g, c) with
+    | [], [] -> []
+    | g0 :: _, [] ->
+      [ Printf.sprintf "%s: line %d missing (golden has %S)" name i g0 ]
+    | [], c0 :: _ ->
+      [ Printf.sprintf "%s: extra line %d %S" name i c0 ]
+    | g0 :: gs, c0 :: cs ->
+      if String.equal g0 c0 then go (i + 1) gs cs
+      else
+        [
+          Printf.sprintf "%s: line %d differs\n  golden:  %s\n  current: %s"
+            name i g0 c0;
+        ]
+  in
+  go 1 golden current
+
+let () =
+  let update, dir, jobs, seed = parse_args () in
+  let reg = Obs.Registry.create () in
+  let ctx =
+    Run.default |> Run.with_metrics reg |> Run.with_seed seed
+    |> Run.with_jobs jobs
+  in
+  let pl = Pipeline.run ~ctx ~config:Pipeline.quick_config () in
+  let sim_lines = List.map E.row_to_string (E.simulate ~ctx pl) in
+  let abl_lines = List.map E.ablation_row_to_string (E.ablation ~ctx pl) in
+  let sim_path = Filename.concat dir "simulate_rows.txt" in
+  let abl_path = Filename.concat dir "ablation_rows.txt" in
+  let met_path = Filename.concat dir "metrics.jsonl" in
+  if update then begin
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    write_lines sim_path sim_lines;
+    write_lines abl_path abl_lines;
+    Obs.Export.write_file reg met_path;
+    Printf.printf "golden: wrote %s, %s, %s\n" sim_path abl_path met_path
+  end
+  else begin
+    let require = function
+      | Ok v -> v
+      | Error e ->
+        Printf.eprintf
+          "golden: %s\ngolden: snapshot missing or unreadable — run with \
+           --update and commit the result\n"
+          e;
+        exit 2
+    in
+    let sim_golden = require (read_lines sim_path) in
+    let abl_golden = require (read_lines abl_path) in
+    let met_golden = require (Obs.Diff.load_file met_path) in
+    (* current metrics go through the same serialize/parse round trip *)
+    let met_tmp = Filename.temp_file "golden_current" ".jsonl" in
+    Obs.Export.write_file reg met_tmp;
+    let met_current = require (Obs.Diff.load_file met_tmp) in
+    Sys.remove met_tmp;
+    let drift =
+      diff_lines ~name:"simulate_rows" sim_golden sim_lines
+      @ diff_lines ~name:"ablation_rows" abl_golden abl_lines
+      @ fst
+          (Obs.Diff.diff_records ~ignores:[ "store." ] ~a_label:met_path
+             ~b_label:"current run" met_golden met_current)
+    in
+    match drift with
+    | [] ->
+      Printf.printf
+        "golden: clean (%d simulate rows, %d ablation rows, %d metric \
+         records, jobs=%d, seed=%d)\n"
+        (List.length sim_lines) (List.length abl_lines)
+        (List.length met_golden) jobs seed
+    | msgs ->
+      List.iter print_endline msgs;
+      Printf.printf "golden: %d drift(s) against %s\n" (List.length msgs) dir;
+      exit 1
+  end

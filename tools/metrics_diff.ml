@@ -5,18 +5,20 @@
 
    Compared: counters, gauges, histogram totals and buckets, span call
    counts, and every numeric/string field of events (paired per kind, in
-   order). Ignored: span "seconds" (wall clock is never deterministic),
-   plus any metric whose name — or event whose kind — starts with an
-   --ignore prefix; ignored records are dropped from both files before
-   pairing, so occurrence numbering stays aligned. The canonical use is
-   "--ignore store." to compare a cold against a warm artifact-store run,
-   whose only intended difference is the store's own hit/miss counters.
-   Tolerance is relative, in percent; the default 0 demands exact
-   equality, which is what two same-seed runs must achieve.
+   order); the comparison itself lives in Stc_obs.Diff, shared with the
+   golden-regression harness (tools/golden). Ignored: span "seconds"
+   (wall clock is never deterministic), plus any metric whose name — or
+   event whose kind — starts with an --ignore prefix. The canonical use
+   is "--ignore store." to compare a cold against a warm artifact-store
+   run, whose only intended difference is the store's own hit/miss
+   counters. Tolerance is relative, in percent; the default 0 demands
+   exact equality, which is what two same-seed runs must achieve.
 
-   Exit codes: 0 no drift, 1 drift, 2 usage or parse error. *)
+   A missing, unreadable, unparsable or *empty* input is a hard error:
+   an export with zero records can only green-light a vacuous diff, so
+   CI must never see it as success.
 
-module Json = Stc_obs.Json
+   Exit codes: 0 no drift, 1 drift, 2 usage or input error. *)
 
 let usage () =
   prerr_endline
@@ -44,141 +46,26 @@ let parse_args () =
   | [ a; b ] -> (a, b, !tolerance, !ignores)
   | _ -> usage ()
 
-let read_records path =
-  let ic =
-    try open_in path
-    with Sys_error e ->
-      Printf.eprintf "metrics_diff: %s\n" e;
-      exit 2
-  in
-  let doc = really_input_string ic (in_channel_length ic) in
-  close_in ic;
-  try Json.lines doc
-  with Failure e ->
-    Printf.eprintf "metrics_diff: %s: %s\n" path e;
-    exit 2
-
-let str_field name r =
-  match Json.member name r with Some (Json.Str s) -> Some s | _ -> None
-
-let record_type r = Option.value ~default:"?" (str_field "type" r)
-
-(* --ignore filtering, applied before keying so both files number the
-   surviving repeats identically. *)
-let ignored ~ignores r =
-  ignores <> []
-  &&
-  let tag =
-    match record_type r with
-    | "counter" | "gauge" | "histo" -> str_field "name" r
-    | "event" -> str_field "kind" r
-    | _ -> None
-  in
-  match tag with
-  | None -> false
-  | Some t -> List.exists (fun p -> String.starts_with ~prefix:p t) ignores
-
-(* Identifying key per record; numbered suffix disambiguates repeats
-   (events of the same kind are paired in emission order). *)
-let keys records =
-  let seen = Hashtbl.create 64 in
-  List.filter_map
-    (fun r ->
-      let base =
-        match record_type r with
-        | "meta" -> None
-        | "counter" | "gauge" | "histo" ->
-          Some ("metric:" ^ Option.value ~default:"?" (str_field "name" r))
-        | "span" ->
-          Some ("span:" ^ Option.value ~default:"?" (str_field "path" r))
-        | "event" ->
-          Some ("event:" ^ Option.value ~default:"?" (str_field "kind" r))
-        | t -> Some ("unknown:" ^ t)
-      in
-      match base with
-      | None -> None
-      | Some base ->
-        let n = Option.value ~default:0 (Hashtbl.find_opt seen base) in
-        Hashtbl.replace seen base (n + 1);
-        Some ((base, n), r))
-    records
-
-let drift = ref 0
-
-let report fmt =
-  Printf.ksprintf
-    (fun s ->
-      incr drift;
-      print_endline s)
-    fmt
-
-let close_enough tolerance a b =
-  a = b
-  || abs_float (a -. b) <= tolerance *. Float.max (abs_float a) (abs_float b)
-
-let rec compare_json ~tolerance ~ignore_seconds path a b =
-  match (a, b) with
-  | Json.Obj fa, Json.Obj fb ->
-    let names = List.map fst fa @ List.filter (fun k -> not (List.mem_assoc k fa)) (List.map fst fb) in
-    List.iter
-      (fun k ->
-        if not (ignore_seconds && k = "seconds") then
-          match (List.assoc_opt k fa, List.assoc_opt k fb) with
-          | Some va, Some vb ->
-            compare_json ~tolerance ~ignore_seconds (path ^ "." ^ k) va vb
-          | Some _, None -> report "%s: only in A" (path ^ "." ^ k)
-          | None, Some _ -> report "%s: only in B" (path ^ "." ^ k)
-          | None, None -> ())
-      names
-  | Json.List la, Json.List lb ->
-    if List.length la <> List.length lb then
-      report "%s: lengths differ (%d vs %d)" path (List.length la)
-        (List.length lb)
-    else
-      List.iteri
-        (fun i (va, vb) ->
-          compare_json ~tolerance ~ignore_seconds
-            (Printf.sprintf "%s[%d]" path i)
-            va vb)
-        (List.combine la lb)
-  | a, b -> (
-    match (Json.to_float a, Json.to_float b) with
-    | Some fa, Some fb ->
-      if not (close_enough tolerance fa fb) then
-        report "%s: %g vs %g" path fa fb
-    | _ ->
-      if a <> b then
-        report "%s: %s vs %s" path (Json.to_string a) (Json.to_string b))
-
 let () =
   let file_a, file_b, tolerance, ignores = parse_args () in
   let load path =
-    keys (List.filter (fun r -> not (ignored ~ignores r)) (read_records path))
+    match Stc_obs.Diff.load_file path with
+    | Ok records -> records
+    | Error e ->
+      Printf.eprintf "metrics_diff: %s\n" e;
+      exit 2
   in
   let a = load file_a and b = load file_b in
-  let tbl_b = Hashtbl.create 256 in
-  List.iter (fun (k, r) -> Hashtbl.replace tbl_b k r) b;
-  List.iter
-    (fun ((base, n), ra) ->
-      match Hashtbl.find_opt tbl_b (base, n) with
-      | None -> report "%s#%d: only in %s" base n file_a
-      | Some rb ->
-        let ignore_seconds = record_type ra = "span" in
-        compare_json ~tolerance ~ignore_seconds
-          (Printf.sprintf "%s#%d" base n)
-          ra rb)
-    a;
-  let tbl_a = Hashtbl.create 256 in
-  List.iter (fun (k, r) -> Hashtbl.replace tbl_a k r) a;
-  List.iter
-    (fun ((base, n), _) ->
-      if not (Hashtbl.mem tbl_a (base, n)) then
-        report "%s#%d: only in %s" base n file_b)
-    b;
-  if !drift > 0 then begin
-    Printf.printf "%d drifting record(s) between %s and %s\n" !drift file_a
-      file_b;
+  let drift, compared =
+    Stc_obs.Diff.diff_records ~tolerance ~ignores ~a_label:file_a
+      ~b_label:file_b a b
+  in
+  match drift with
+  | [] ->
+    Printf.printf "no drift: %s and %s agree (%d records)\n" file_a file_b
+      compared
+  | msgs ->
+    List.iter print_endline msgs;
+    Printf.printf "%d drifting record(s) between %s and %s\n" (List.length msgs)
+      file_a file_b;
     exit 1
-  end
-  else Printf.printf "no drift: %s and %s agree (%d records)\n" file_a file_b
-         (List.length a)
