@@ -18,6 +18,9 @@
                                  pre-packed (View-per-cell) engine path
                                  only, instead of packed + naive baseline
      --metrics FILE            — export run metrics as JSONL to FILE
+     --trace FILE              — record per-domain timeline events and
+                                 write Chrome trace_event JSON to FILE
+                                 (Perfetto / tools/trace_report)
      --progress                — rate/ETA progress lines on stderr
      --store DIR               — artifact store for the pipeline and the
                                  simulation grids (see Stc_store)
@@ -26,7 +29,9 @@
    simulation cells through Engine.run_packed and Engine.run_naive,
    checks the results are identical, prints blocks/sec and the packed
    speedup (plus a --jobs N parallel replay), and writes the numbers to
-   BENCH_fetch.json.
+   BENCH_fetch.json. Both BENCH_*.json artifacts carry a "provenance"
+   record (Meta.provenance: git commit, OCaml version, hostname, jobs)
+   so perf numbers stay attributable.
 
    The [store] part is the artifact-store macrobench: it runs the full
    pipeline + Table 3/4 grid twice against the same store — once cold,
@@ -47,6 +52,7 @@ let parse_args () =
   and seed = ref None
   and jobs = ref (max 1 (Domain.recommended_domain_count () - 1))
   and metrics = ref None
+  and trace = ref None
   and progress = ref false
   and naive = ref false
   and store = ref None
@@ -71,6 +77,9 @@ let parse_args () =
     | "--metrics" :: v :: rest ->
       metrics := Some v;
       go rest
+    | "--trace" :: v :: rest ->
+      trace := Some v;
+      go rest
     | "--progress" :: rest ->
       progress := true;
       go rest
@@ -87,27 +96,45 @@ let parse_args () =
     !seed,
     !jobs,
     !metrics,
+    !trace,
     !progress,
     !naive,
     !store,
     List.rev !parts )
 
-let quick, scale, seed, jobs, metrics_file, progress, naive, store, parts =
+let ( quick,
+      scale,
+      seed,
+      jobs,
+      metrics_file,
+      trace_file,
+      progress,
+      naive,
+      store,
+      parts ) =
   parse_args ()
 
-(* Fail on an unwritable --metrics path before the run, not after it. *)
+(* Fail on unwritable --metrics/--trace paths before the run. *)
 let () =
-  match metrics_file with
-  | None -> ()
-  | Some path -> (
-    try close_out (open_out path)
-    with Sys_error e ->
-      Printf.eprintf "bench: cannot write metrics file: %s\n" e;
-      exit 1)
+  List.iter
+    (fun (what, file) ->
+      match file with
+      | None -> ()
+      | Some path -> (
+        try close_out (open_out path)
+        with Sys_error e ->
+          Printf.eprintf "bench: cannot write %s file: %s\n" what e;
+          exit 1))
+    [ ("metrics", metrics_file); ("trace", trace_file) ]
 
 let wants part = parts = [] || List.mem part parts
 
 let registry = Stc_obs.Registry.create ()
+
+(* Only built when --trace was given: an absent tracer is one branch per
+   instrumentation site, so untraced bench numbers stay untouched. *)
+let tracer =
+  match trace_file with Some _ -> Some (Stc_obs.Trace.create ()) | None -> None
 
 module Run = Stc_core.Run
 
@@ -117,7 +144,8 @@ let ctx =
     |> Run.with_jobs jobs
   in
   let c = match seed with Some s -> Run.with_seed s c | None -> c in
-  match store with Some dir -> Run.with_store dir c | None -> c
+  let c = match store with Some dir -> Run.with_store dir c | None -> c in
+  match tracer with Some t -> Run.with_trace t c | None -> c
 
 let pipeline =
   lazy
@@ -376,7 +404,8 @@ let fetch_bench () =
       if jobs > 1 then begin
         let par_rs, par_wall =
           time (fun () ->
-              Stc_par.Pool.with_pool ~domains:jobs @@ fun pool ->
+              Stc_par.Pool.with_pool ~domains:jobs ?trace:tracer
+              @@ fun pool ->
               Array.to_list
                 (Stc_par.Pool.map ~chunk:1 pool
                    (fun (layout, mk) ->
@@ -412,7 +441,8 @@ let fetch_bench () =
     end
   in
   let oc = open_out "BENCH_fetch.json" in
-  output_string oc (J.to_string (J.Obj fields));
+  output_string oc
+    (J.to_string (J.Obj (fields @ [ ("provenance", Meta.provenance ~jobs) ])));
   output_char oc '\n';
   close_out oc;
   Printf.printf "  [fetch] BENCH_fetch.json written\n\n%!"
@@ -482,6 +512,7 @@ let store_bench () =
             ("rows", J.Int (List.length cold_rows));
             ("jobs", J.Int jobs);
             ("fresh_store", J.Bool fresh);
+            ("provenance", Meta.provenance ~jobs);
           ]));
   output_char oc '\n';
   close_out oc;
@@ -570,8 +601,17 @@ let () =
   if wants "fetch" && parts <> [] then fetch_bench ();
   if wants "store" && parts <> [] then store_bench ();
   if wants "micro" then micro ();
-  match metrics_file with
+  (match metrics_file with
   | Some path ->
     Stc_obs.Export.write_file registry path;
     Printf.printf "[metrics] written to %s\n%!" path
-  | None -> ()
+  | None -> ());
+  match (tracer, trace_file) with
+  | Some t, Some path ->
+    Stc_obs.Trace.write_file t path;
+    Printf.printf "[trace] %d events written to %s%s\n%!"
+      (Stc_obs.Trace.events t) path
+      (match Stc_obs.Trace.dropped t with
+      | 0 -> ""
+      | d -> Printf.sprintf " (%d dropped: ring full)" d)
+  | _ -> ()

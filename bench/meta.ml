@@ -1,0 +1,37 @@
+(* Shared provenance record stamped into every BENCH_*.json artifact, so
+   a perf-trajectory number can always be traced back to the code and
+   machine that produced it.
+
+   The git commit is best-effort: the bench must keep working from an
+   export tarball or a dirty checkout, so any failure to ask git — no
+   binary, not a repository, odd exit — degrades to "unknown" rather
+   than aborting a benchmark run. *)
+
+module J = Stc_obs.Json
+
+let schema = 1
+
+let git_commit () =
+  match
+    let ic =
+      Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null"
+    in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    (line, status)
+  with
+  | exception _ -> "unknown"
+  | line, Unix.WEXITED 0 when String.trim line <> "" -> String.trim line
+  | _ -> "unknown"
+
+let hostname () = try Unix.gethostname () with _ -> "unknown"
+
+let provenance ~jobs =
+  J.Obj
+    [
+      ("schema", J.Int schema);
+      ("git_commit", J.Str (git_commit ()));
+      ("ocaml_version", J.Str Sys.ocaml_version);
+      ("hostname", J.Str (hostname ()));
+      ("jobs", J.Int jobs);
+    ]

@@ -13,14 +13,18 @@ let pipeline_config quick sf frames =
 
 (* --seed is applied by Pipeline.run through Run.ctx (Pipeline.seeded);
    --jobs parallelizes the simulation grids without changing any output,
-   and --store makes reruns consult the artifact cache. *)
-let make_ctx reg progress seed jobs store =
+   --store makes reruns consult the artifact cache, and --trace records
+   per-domain timeline events. *)
+let make_ctx reg progress seed jobs store tracer =
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_progress progress
     |> Run.with_jobs jobs
   in
   let ctx = match seed with Some s -> Run.with_seed s ctx | None -> ctx in
-  match store with Some dir -> Run.with_store dir ctx | None -> ctx
+  let ctx =
+    match store with Some dir -> Run.with_store dir ctx | None -> ctx
+  in
+  match tracer with Some t -> Run.with_trace t ctx | None -> ctx
 
 let default_jobs = max 1 (Domain.recommended_domain_count () - 1)
 
@@ -80,6 +84,19 @@ let metrics_arg =
            experiment-cell records) to $(docv) as JSONL; see README \
            'Observability'. Compare two runs with tools/metrics_diff.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record per-domain timeline events (phases, grid cells, pool \
+           chunks, store operations) and write them to $(docv) as Chrome \
+           trace_event JSON — load it in Perfetto (ui.perfetto.dev) or \
+           summarize with tools/trace_report. Without this flag the \
+           tracer is entirely absent and the run's outputs are \
+           byte-identical to an untraced run.")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -99,14 +116,35 @@ let store_arg =
            time; stale or damaged entries are recomputed, never trusted. \
            Inspect with tools/store_inspect.")
 
-(* Fail on an unwritable --metrics path before the run, not after it. *)
-let check_metrics_path = function
+(* Fail on an unwritable --metrics/--trace path before the run, not
+   after it. *)
+let check_out_path what = function
   | None -> ()
   | Some path -> (
     try close_out (open_out path)
     with Sys_error e ->
-      Printf.eprintf "stc_repro: cannot write metrics file: %s\n" e;
+      Printf.eprintf "stc_repro: cannot write %s file: %s\n" what e;
       exit 1)
+
+let check_metrics_path = check_out_path "metrics"
+
+(* The tracer exists only when --trace was given: with None in the ctx
+   every instrumentation site is a single branch and the run is
+   untouched. *)
+let make_tracer = function None -> None | Some _ -> Some (Obs.Trace.create ())
+
+let finish_trace tracer trace_file =
+  match (tracer, trace_file) with
+  | Some t, Some path ->
+    Obs.Trace.write_file t path;
+    let dropped =
+      match Obs.Trace.dropped t with
+      | 0 -> ""
+      | d -> Printf.sprintf " (%d dropped: ring full)" d
+    in
+    Printf.printf "Trace: %d events written to %s%s\n%!" (Obs.Trace.events t)
+      path dropped
+  | _ -> ()
 
 (* Every command carries one registry; spans and counters are collected
    unconditionally (the cost is nil next to the simulation) and exported
@@ -149,10 +187,12 @@ let finish_metrics reg metrics_file =
       path
 
 let characterize_cmd =
-  let run quick sf seed frames jobs store metrics progress =
+  let run quick sf seed frames jobs store metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs store in
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
@@ -162,18 +202,22 @@ let characterize_cmd =
     print_newline ();
     E.print_table2 (E.table2 pl);
     report_store reg store;
-    finish_metrics reg metrics
+    finish_metrics reg metrics;
+    finish_trace tracer trace
   in
   Cmd.v
     (Cmd.info "characterize" ~doc:"Section 4: Table 1, Figure 2, reuse, Table 2.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
-let simulate_run quick sf seed frames jobs store exec branch metrics progress =
+let simulate_run quick sf seed frames jobs store exec branch metrics trace
+    progress =
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
-  let ctx = make_ctx reg progress seed jobs store in
+  check_out_path "trace" trace;
+  let tracer = make_tracer trace in
+  let ctx = make_ctx reg progress seed jobs store tracer in
   let pl = setup ~ctx quick sf frames in
   Printf.printf "Simulating the full Table 3 / Table 4 grid (%d jobs)...\n%!"
     ctx.Run.jobs;
@@ -187,37 +231,43 @@ let simulate_run quick sf seed frames jobs store exec branch metrics progress =
   print_newline ();
   E.print_sequentiality rows;
   report_store reg store;
-  finish_metrics reg metrics
+  finish_metrics reg metrics;
+  finish_trace tracer trace
 
 let simulate_term =
   Term.(
     const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-    $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
+    $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames jobs store metrics progress =
+  let run quick sf seed frames jobs store metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs store in
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
     E.print_ablation (E.ablation ~ctx pl);
     report_store reg store;
-    finish_metrics reg metrics
+    finish_metrics reg metrics;
+    finish_trace tracer trace
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let extensions_cmd =
-  let run quick sf seed frames jobs store metrics progress =
+  let run quick sf seed frames jobs store metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs store in
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
     Stc_core.Extensions.print_inlining (Stc_core.Extensions.inlining ~ctx pl);
     print_newline ();
@@ -236,7 +286,8 @@ let extensions_cmd =
     Stc_core.Extensions.print_associativity
       (Stc_core.Extensions.associativity ~ctx pl);
     report_store reg store;
-    finish_metrics reg metrics
+    finish_metrics reg metrics;
+    finish_trace tracer trace
   in
   Cmd.v
     (Cmd.info "extensions"
@@ -244,13 +295,15 @@ let extensions_cmd =
          "Section 8 future work: inlining, OLTP, branch prediction,           auto-tuning.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let check_cmd =
-  let run quick sf seed frames jobs store metrics progress =
+  let run quick sf seed frames jobs store metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs store in
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
     Printf.printf "Running layout validators and differential oracles...\n%!";
     let t0 = Unix.gettimeofday () in
@@ -259,6 +312,7 @@ let check_cmd =
     Stc_check.print_report report;
     report_store reg store;
     finish_metrics reg metrics;
+    finish_trace tracer trace;
     if not (Stc_check.ok report) then exit 1
   in
   Cmd.v
@@ -271,13 +325,15 @@ let check_cmd =
           violation or divergence.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let all_cmd =
-  let run quick sf seed frames jobs store exec branch metrics progress =
+  let run quick sf seed frames jobs store exec branch metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
-    let ctx = make_ctx reg progress seed jobs store in
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
     E.print_table1 (E.table1 pl);
     print_newline ();
@@ -294,13 +350,14 @@ let all_cmd =
     print_newline ();
     E.print_sequentiality rows;
     report_store reg store;
-    finish_metrics reg metrics
+    finish_metrics reg metrics;
+    finish_trace tracer trace
   in
   Cmd.v
     (Cmd.info "all" ~doc:"Every table and figure.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ progress_arg)
+      $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let () =
   let info =

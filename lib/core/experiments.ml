@@ -288,7 +288,16 @@ let cell_key ~prog_fp ~trace_fp cell =
       string_of_int c.tc_entries;
     ]
 
-let exec_cell ~metrics ~pcache ~store cell =
+(* One timeline slice per grid cell, named so trace_report's "slowest
+   cells" table reads without cross-referencing: table, layout, cache and
+   CFA sizes, variant. *)
+let cell_label cell =
+  Printf.sprintf "cell:%s %s %dk/%s %s" cell.c_table
+    cell.c_layout.L.Layout.name cell.c_cache_kb
+    (match cell.c_cfa_kb with Some k -> string_of_int k ^ "k" | None -> "-")
+    (variant_name cell.c_variant)
+
+let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
   let c = cell.c_config in
   let cache_kb = cell.c_cache_kb in
   let simulate () =
@@ -312,8 +321,14 @@ let exec_cell ~metrics ~pcache ~store cell =
         Some (F.Tracecache.create ~entries:c.tc_entries ())
       | Direct | Two_way | Victim | Ideal -> None
     in
-    let ctx = Option.map (fun reg -> Run.(with_metrics reg default)) metrics in
-    F.Engine.run_packed ?ctx ~config:(engine_config c) ?icache ?trace_cache
+    let ctx =
+      let c0 = Run.default in
+      let c0 =
+        match metrics with Some reg -> Run.with_metrics reg c0 | None -> c0
+      in
+      match trace with Some tr -> Run.with_trace tr c0 | None -> c0
+    in
+    F.Engine.run_packed ~ctx ~config:(engine_config c) ?icache ?trace_cache
       packed
   in
   let r =
@@ -323,7 +338,7 @@ let exec_cell ~metrics ~pcache ~store cell =
       (* The handle is opened against this cell's registry (a per-cell
          shard under a pool), so store counters merge deterministically
          like every other metric. *)
-      let st = Stc_store.open_ ?metrics dir in
+      let st = Stc_store.open_ ?metrics ?trace dir in
       let key = cell_key ~prog_fp ~trace_fp cell in
       match Stc_store.Result.load st ~key with
       | Some r ->
@@ -364,6 +379,13 @@ let exec_cell ~metrics ~pcache ~store cell =
   | None -> ());
   row
 
+let exec_cell ~metrics ~trace ~pcache ~store cell =
+  match trace with
+  | None -> exec_cell_inner ~metrics ~trace ~pcache ~store cell
+  | Some tr ->
+    Stc_obs.Trace.span tr (cell_label cell) (fun () ->
+        exec_cell_inner ~metrics ~trace ~pcache ~store cell)
+
 (* Run planned cells serially ([jobs <= 1]: the exact pre-pool code path,
    writing straight into the caller's registry) or on a domain pool.  In
    the parallel path each cell records into its own registry shard; shards
@@ -388,11 +410,12 @@ let exec_cells ~(ctx : Run.ctx) ~label (pl : Pipeline.t) cells =
   let step () =
     match reporter with Some p -> Stc_obs.Progress.step p | None -> ()
   in
+  let trace = ctx.Run.trace in
   let rows =
     if ctx.Run.jobs <= 1 then
       Array.map
         (fun c ->
-          let r = exec_cell ~metrics:ctx.Run.metrics ~pcache ~store c in
+          let r = exec_cell ~metrics:ctx.Run.metrics ~trace ~pcache ~store c in
           step ();
           r)
         cells
@@ -415,13 +438,13 @@ let exec_cells ~(ctx : Run.ctx) ~label (pl : Pipeline.t) cells =
         done
       in
       let out =
-        Stc_par.Pool.with_pool ~domains:ctx.Run.jobs @@ fun pool ->
+        Stc_par.Pool.with_pool ~domains:ctx.Run.jobs ?trace @@ fun pool ->
         Stc_par.Pool.map ~chunk:1 pool
           (fun c ->
             let shard =
               Option.map (fun _ -> Stc_obs.Registry.create ()) ctx.Run.metrics
             in
-            let r = (exec_cell ~metrics:shard ~pcache ~store c, shard) in
+            let r = (exec_cell ~metrics:shard ~trace ~pcache ~store c, shard) in
             Atomic.incr completed;
             if Domain.self () = caller then drain ();
             r)

@@ -82,8 +82,17 @@ let publish reg r =
    once after the stream ends. Cycle accounting is line-for-line the
    model of [run_naive] below; the two must stay result-identical (the
    equality is property-tested and asserted by @perf-smoke). *)
+(* Timeline slices are one per replay — never per block: at millions of
+   blocks per second even a no-op emission call in the inner loop would
+   dominate the engine. *)
+let traced ctx name f =
+  match Option.bind ctx (fun c -> c.Stc_obs.Run.trace) with
+  | None -> f ()
+  | Some tr -> Stc_obs.Trace.span tr name f
+
 let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
     packed =
+  traced ctx "engine.run_packed" @@ fun () ->
   let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
   let words = Packed.raw packed in
   let len = Packed.length packed in
@@ -248,6 +257,7 @@ let run ?ctx ?config ?icache ?trace_cache ?prediction view =
 
 let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
     view =
+  traced ctx "engine.run_naive" @@ fun () ->
   let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
   let len = View.length view in
   let line = config.line_bytes in

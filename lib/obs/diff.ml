@@ -47,7 +47,7 @@ let close_enough tolerance a b =
   a = b
   || abs_float (a -. b) <= tolerance *. Float.max (abs_float a) (abs_float b)
 
-let rec compare_json ~tolerance ~ignore_seconds ~report path a b =
+let rec compare_json ~tolerance ~ignore_seconds ~optional ~report path a b =
   match (a, b) with
   | Json.Obj fa, Json.Obj fb ->
     let names =
@@ -59,11 +59,15 @@ let rec compare_json ~tolerance ~ignore_seconds ~report path a b =
         if not (ignore_seconds && k = "seconds") then
           match (List.assoc_opt k fa, List.assoc_opt k fb) with
           | Some va, Some vb ->
-            compare_json ~tolerance ~ignore_seconds ~report (path ^ "." ^ k) va
-              vb
-          | Some _, None -> report (Printf.sprintf "%s: only in A" (path ^ "." ^ k))
-          | None, Some _ -> report (Printf.sprintf "%s: only in B" (path ^ "." ^ k))
-          | None, None -> ())
+            compare_json ~tolerance ~ignore_seconds ~optional ~report
+              (path ^ "." ^ k) va vb
+          (* optional fields (histo quantiles, added in export schema 3)
+             only count as drift when both sides carry them *)
+          | Some _, None when not (List.mem k optional) ->
+            report (Printf.sprintf "%s: only in A" (path ^ "." ^ k))
+          | None, Some _ when not (List.mem k optional) ->
+            report (Printf.sprintf "%s: only in B" (path ^ "." ^ k))
+          | _ -> ())
       names
   | Json.List la, Json.List lb ->
     if List.length la <> List.length lb then
@@ -73,7 +77,7 @@ let rec compare_json ~tolerance ~ignore_seconds ~report path a b =
     else
       List.iteri
         (fun i (va, vb) ->
-          compare_json ~tolerance ~ignore_seconds ~report
+          compare_json ~tolerance ~ignore_seconds ~optional ~report
             (Printf.sprintf "%s[%d]" path i)
             va vb)
         (List.combine la lb)
@@ -103,7 +107,10 @@ let diff_records ?(tolerance = 0.0) ?(ignores = []) ~a_label ~b_label ra rb =
       | None -> report (Printf.sprintf "%s#%d: only in %s" base n a_label)
       | Some rb ->
         let ignore_seconds = record_type ra = "span" in
-        compare_json ~tolerance ~ignore_seconds ~report
+        let optional =
+          if record_type ra = "histo" then [ "p50"; "p90"; "p99" ] else []
+        in
+        compare_json ~tolerance ~ignore_seconds ~optional ~report
           (Printf.sprintf "%s#%d" base n)
           ra rb)
     a;

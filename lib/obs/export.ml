@@ -2,10 +2,25 @@ module Tbl = Stc_util.Tbl
 module Stats = Stc_util.Stats
 
 (* 2: `table34.cell`/`ablation.cell` events emit `"cfa_kb":null` (not -1)
-   for layouts without a Conflict-Free Area. *)
-let schema_version = 2
+   for layouts without a Conflict-Free Area.
+   3: histo records carry p50/p90/p99 summary fields (bucket lower
+   bounds, so they stay exact across shard merges); Diff treats them as
+   optional, so schema-2 exports still compare clean. *)
+let schema_version = 3
 
 (* ---------- JSONL ---------- *)
+
+(* Quantile summaries over the geometric buckets: each bucket's lower
+   bound stands in for its values, so the result is one of the bucket
+   bounds — deterministic, and invariant under shard merging (which
+   unions buckets weight-for-weight). [null] on an empty histogram. *)
+let histo_quantiles h =
+  match Metric.Histogram.buckets h with
+  | [] -> [ ("p50", Json.Null); ("p90", Json.Null); ("p99", Json.Null) ]
+  | bks ->
+    let pairs = Array.of_list (List.map (fun (lo, _, w) -> (lo, w)) bks) in
+    let q p = Json.Float (Stats.weighted_percentile pairs p) in
+    [ ("p50", q 0.5); ("p90", q 0.9); ("p99", q 0.99) ]
 
 let records t =
   let meta = Json.Obj [ ("type", Str "meta"); ("schema", Int schema_version) ] in
@@ -25,16 +40,20 @@ let records t =
     List.map
       (fun (name, h) ->
         Json.Obj
-          [
-            ("type", Str "histo");
-            ("name", Str name);
-            ("total", Int (Metric.Histogram.total h));
-            ( "buckets",
-              List
-                (List.map
-                   (fun (lo, hi, w) -> Json.List [ Int lo; Int hi; Int w ])
-                   (Metric.Histogram.buckets h)) );
-          ])
+          ([
+             ("type", Json.Str "histo");
+             ("name", Json.Str name);
+             ("total", Json.Int (Metric.Histogram.total h));
+           ]
+          @ histo_quantiles h
+          @ [
+              ( "buckets",
+                Json.List
+                  (List.map
+                     (fun (lo, hi, w) ->
+                       Json.List [ Json.Int lo; Json.Int hi; Json.Int w ])
+                     (Metric.Histogram.buckets h)) );
+            ]))
       (Registry.histograms t)
   in
   let spans =
@@ -102,7 +121,13 @@ let summary t =
     let tbl =
       Tbl.create
         ~headers:
-          [ ("name", Tbl.Left); ("total", Tbl.Right); ("buckets", Tbl.Left) ]
+          [
+            ("name", Tbl.Left);
+            ("total", Tbl.Right);
+            ("p50", Tbl.Right);
+            ("p99", Tbl.Right);
+            ("buckets", Tbl.Left);
+          ]
     in
     List.iter
       (fun (name, h) ->
@@ -111,8 +136,17 @@ let summary t =
           String.concat " "
             (List.map (fun (lo, _, w) -> Printf.sprintf "%d:%d" lo w) bks)
         in
+        let q p =
+          match bks with
+          | [] -> "-"
+          | _ ->
+            let pairs =
+              Array.of_list (List.map (fun (lo, _, w) -> (lo, w)) bks)
+            in
+            Printf.sprintf "%g" (Stats.weighted_percentile pairs p)
+        in
         Tbl.add_row tbl
-          [ name; string_of_int (Metric.Histogram.total h); shape ])
+          [ name; string_of_int (Metric.Histogram.total h); q 0.5; q 0.99; shape ])
       histos;
     Buffer.add_string buf (Tbl.render tbl);
     Buffer.add_char buf '\n'

@@ -68,12 +68,24 @@ let add t n = if n > 0 then bump t n
 
 let count t = t.n
 
+(* The final line always renders, whatever the interval left pending:
+   under the parallel atomic-drain pattern the last ticks land after the
+   caller's final periodic report, so without this the bar would end
+   short of 100%. *)
 let finish t =
   if not t.finished then begin
     let dt = t.clock () -. t.start in
+    let r = fcount (int_of_float (rate t)) in
     let line =
-      Printf.sprintf "%s: %s events in %.1fs (%s/s)" t.label (fcount t.n) dt
-        (fcount (int_of_float (rate t)))
+      match t.total with
+      | Some total when total > 0 ->
+        Printf.sprintf "%s: %s/%s (%.0f%%) in %.1fs (%s/s)" t.label
+          (fcount t.n) (fcount total)
+          (100.0 *. float_of_int t.n /. float_of_int total)
+          dt r
+      | _ ->
+        Printf.sprintf "%s: %s events in %.1fs (%s/s)" t.label (fcount t.n) dt
+          r
     in
     t.emit (line ^ "\n");
     t.finished <- true

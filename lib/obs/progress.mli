@@ -29,5 +29,8 @@ val add : t -> int -> unit
 val count : t -> int
 
 val finish : t -> unit
-(** Emit a final summary line ([label: N events in T (R/s)]) and stop
-    reporting. Idempotent. *)
+(** Emit a final summary line and stop reporting. With a known total the
+    line is [label: N/TOTAL (100%) in T (R/s)] — always rendered, even
+    when the last counted events never crossed a report interval (the
+    parallel atomic-drain pattern ends this way). Without a total it is
+    [label: N events in T (R/s)]. Idempotent. *)

@@ -4,10 +4,18 @@ type ctx = {
   seed : int option;
   jobs : int;
   store : string option;
+  trace : Trace.t option;
 }
 
 let default =
-  { metrics = None; progress = false; seed = None; jobs = 1; store = None }
+  {
+    metrics = None;
+    progress = false;
+    seed = None;
+    jobs = 1;
+    store = None;
+    trace = None;
+  }
 
 let with_metrics reg ctx = { ctx with metrics = Some reg }
 
@@ -19,7 +27,16 @@ let with_jobs jobs ctx = { ctx with jobs = max 1 jobs }
 
 let with_store dir ctx = { ctx with store = Some dir }
 
+let with_trace tr ctx = { ctx with trace = Some tr }
+
+(* A [Run.span] is both an aggregate (registry span tree) and a timeline
+   slice (trace), so instrumenting a phase once serves both exports. *)
 let span ctx name f =
+  let f =
+    match ctx.trace with
+    | Some tr -> fun () -> Trace.span tr name f
+    | None -> f
+  in
   match ctx.metrics with Some reg -> Registry.span reg name f | None -> f ()
 
 let event ctx ~kind fields =

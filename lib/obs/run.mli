@@ -35,12 +35,18 @@ type ctx = {
           = always recompute. The type is a path, not a store handle, so
           that this module stays below [lib/store] in the dependency
           order; consumers open a handle with [Stc_store.of_ctx]. *)
+  trace : Trace.t option;
+      (** Timeline tracer ({!Trace}): entry points emit per-phase,
+          per-cell and per-replay slices into it, and {!Stc_par.Pool}
+          records chunk dispatch when handed the same tracer. [None]
+          (the default) disables tracing at the cost of one branch per
+          instrumentation site. *)
 }
 
 val default : ctx
 (** [{ metrics = None; progress = false; seed = None; jobs = 1;
-    store = None }] — observe nothing, derive nothing, run serially,
-    recompute everything. *)
+    store = None; trace = None }] — observe nothing, derive nothing, run
+    serially, recompute everything. *)
 
 (** {2 Builders} *)
 
@@ -56,10 +62,14 @@ val with_jobs : int -> ctx -> ctx
 val with_store : string -> ctx -> ctx
 (** Cache artifacts under the given directory (created on first use). *)
 
+val with_trace : Trace.t -> ctx -> ctx
+(** Record timeline events into the given tracer. *)
+
 (** {2 Helpers for ctx-threading code} *)
 
 val span : ctx -> string -> (unit -> 'a) -> 'a
-(** {!Registry.span} when metrics are on, plain call otherwise. *)
+(** {!Registry.span} when metrics are on, a {!Trace.span} slice when
+    tracing is on (both when both), plain call otherwise. *)
 
 val event : ctx -> kind:string -> (string * Json.t) list -> unit
 (** {!Registry.event} when metrics are on, dropped otherwise. *)

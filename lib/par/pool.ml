@@ -1,3 +1,5 @@
+module Trace = Stc_obs.Trace
+
 type job = {
   total : int;
   chunk : int;
@@ -5,6 +7,10 @@ type job = {
   work : int -> int -> unit;  (* work lo hi, half-open; must not raise *)
 }
 
+(* Accounting slots: the calling domain is slot 0, spawned workers are
+   slots 1..n_workers. Each slot is written by exactly one domain while a
+   job is in flight; readers ({!stats}) run between jobs, after the
+   mutex hand-off in [submit] has published the writes. *)
 type t = {
   n_workers : int;  (* spawned domains; the caller is one more *)
   mutable workers : unit Domain.t array;
@@ -15,19 +21,38 @@ type t = {
   mutable job : job option;  (* the job of generation [gen] *)
   mutable finished : int;  (* workers done with the current generation *)
   mutable stopping : bool;
+  busy : float array;
+  chunks_done : int array;
+  mutable wall : float;  (* seconds spent inside [submit], summed *)
+  mutable submits : int;
+  trace : Trace.t option;
+  tr_chunk : int;  (* interned ids; 0 when [trace = None] *)
+  tr_queue : int;
 }
 
-let run_chunks job =
+let run_chunks t job ~slot =
   let rec go () =
     let lo = Atomic.fetch_and_add job.next job.chunk in
     if lo < job.total then begin
+      let t0 = Unix.gettimeofday () in
+      (match t.trace with
+      | None -> ()
+      | Some tr ->
+        (* items still unclaimed after this grab: the queue depth *)
+        Trace.counter tr t.tr_queue (max 0 (job.total - lo - job.chunk));
+        Trace.begin_ tr t.tr_chunk);
       job.work lo (min (lo + job.chunk) job.total);
+      (match t.trace with
+      | None -> ()
+      | Some tr -> Trace.end_ tr t.tr_chunk);
+      t.busy.(slot) <- t.busy.(slot) +. (Unix.gettimeofday () -. t0);
+      t.chunks_done.(slot) <- t.chunks_done.(slot) + 1;
       go ()
     end
   in
   go ()
 
-let worker t =
+let worker t ~slot =
   let last = ref 0 in
   let rec loop () =
     Mutex.lock t.m;
@@ -39,7 +64,7 @@ let worker t =
       last := t.gen;
       let job = Option.get t.job in
       Mutex.unlock t.m;
-      run_chunks job;
+      run_chunks t job ~slot;
       Mutex.lock t.m;
       t.finished <- t.finished + 1;
       if t.finished = t.n_workers then Condition.signal t.job_done;
@@ -49,11 +74,16 @@ let worker t =
   in
   loop ()
 
-let create ?domains () =
+let create ?domains ?trace () =
   let domains =
     match domains with
     | Some d -> max 1 d
     | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  let tr_chunk, tr_queue =
+    match trace with
+    | None -> (0, 0)
+    | Some tr -> (Trace.intern tr "pool.chunk", Trace.intern tr "pool.queue")
   in
   let t =
     {
@@ -66,9 +96,18 @@ let create ?domains () =
       job = None;
       finished = 0;
       stopping = false;
+      busy = Array.make domains 0.0;
+      chunks_done = Array.make domains 0;
+      wall = 0.0;
+      submits = 0;
+      trace;
+      tr_chunk;
+      tr_queue;
     }
   in
-  t.workers <- Array.init t.n_workers (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    Array.init t.n_workers (fun i ->
+        Domain.spawn (fun () -> worker t ~slot:(i + 1)));
   t
 
 let domains t = t.n_workers + 1
@@ -78,7 +117,8 @@ let domains t = t.n_workers + 1
    workers' writes happen-before the caller's reads (mutex hand-off). *)
 let submit t job =
   if t.stopping then invalid_arg "Stc_par.Pool: pool is shut down";
-  if t.n_workers = 0 then run_chunks job
+  let t0 = Unix.gettimeofday () in
+  if t.n_workers = 0 then run_chunks t job ~slot:0
   else begin
     Mutex.lock t.m;
     t.job <- Some job;
@@ -86,14 +126,36 @@ let submit t job =
     t.gen <- t.gen + 1;
     Condition.broadcast t.have_job;
     Mutex.unlock t.m;
-    run_chunks job;
+    run_chunks t job ~slot:0;
     Mutex.lock t.m;
     while t.finished < t.n_workers do
       Condition.wait t.job_done t.m
     done;
     t.job <- None;
     Mutex.unlock t.m
-  end
+  end;
+  t.wall <- t.wall +. (Unix.gettimeofday () -. t0);
+  t.submits <- t.submits + 1
+
+type stats = {
+  s_domains : int;
+  s_submits : int;
+  s_wall : float;
+  s_busy : float array;
+  s_idle : float array;
+  s_chunks : int array;
+}
+
+let stats t =
+  let busy = Array.copy t.busy in
+  {
+    s_domains = t.n_workers + 1;
+    s_submits = t.submits;
+    s_wall = t.wall;
+    s_busy = busy;
+    s_idle = Array.map (fun b -> Float.max 0.0 (t.wall -. b)) busy;
+    s_chunks = Array.copy t.chunks_done;
+  }
 
 let default_chunk ~total ~domains =
   (* several chunks per domain so uneven costs balance *)
@@ -162,6 +224,6 @@ let shutdown t =
     t.workers <- [||]
   end
 
-let with_pool ?domains f =
-  let t = create ?domains () in
+let with_pool ?domains ?trace f =
+  let t = create ?domains ?trace () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -26,14 +26,34 @@
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?trace:Stc_obs.Trace.t -> unit -> t
 (** [create ~domains:n ()] spawns [n - 1] worker domains ([n] is clamped
     to at least 1). Default: [Domain.recommended_domain_count () - 1],
-    leaving one core for the rest of the system. *)
+    leaving one core for the rest of the system. With [~trace], every
+    claimed chunk emits a [pool.chunk] slice on the domain that ran it
+    and a [pool.queue] counter sample of the items still unclaimed — the
+    per-domain utilization timeline [tools/trace_report] digests. *)
 
 val domains : t -> int
 (** The parallelism (worker domains + the calling domain), i.e. the
     [~domains] the pool was created with. *)
+
+(** Cumulative scheduling account, kept whether or not tracing is on
+    (two clock reads per chunk — noise next to any simulation cell).
+    Arrays are indexed by domain slot: 0 is the calling domain, [1..n-1]
+    the spawned workers. *)
+type stats = {
+  s_domains : int;
+  s_submits : int;  (** {!map}/{!iter_chunks} calls served so far *)
+  s_wall : float;  (** total seconds inside those calls *)
+  s_busy : float array;  (** per slot, seconds spent running chunks *)
+  s_idle : float array;  (** per slot, [s_wall - s_busy] clamped at 0 *)
+  s_chunks : int array;  (** per slot, chunks executed *)
+}
+
+val stats : t -> stats
+(** Snapshot of the account. Call between jobs (not from inside a task):
+    the join in [submit] publishes every worker's writes. *)
 
 val map : ?chunk:int -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** [map pool f xs] computes [Array.map f xs] using every domain of the
@@ -52,6 +72,6 @@ val shutdown : t -> unit
 (** Join the worker domains. Idempotent. The pool must be idle. Calling
     {!map} after [shutdown] raises [Invalid_argument]. *)
 
-val with_pool : ?domains:int -> (t -> 'a) -> 'a
+val with_pool : ?domains:int -> ?trace:Stc_obs.Trace.t -> (t -> 'a) -> 'a
 (** [with_pool f] runs [f] with a fresh pool and shuts it down afterwards
     (also on exception). *)

@@ -61,12 +61,17 @@ type t
     are cheap to open; parallel grid cells open one per cell against
     their own registry shard so the merged totals stay deterministic. *)
 
-val open_ : ?metrics:Stc_obs.Registry.t -> string -> t
-(** Create the directory (and parents) if needed. *)
+val open_ : ?metrics:Stc_obs.Registry.t -> ?trace:Stc_obs.Trace.t -> string -> t
+(** Create the directory (and parents) if needed. With [~metrics] the
+    [store.*] counters and the [store.read_us]/[store.write_us] latency
+    histograms (microseconds, log2 buckets) register there; with
+    [~trace] every lookup and write emits a timeline slice —
+    [store.hit]/[store.miss]/[store.write] — carrying the payload size
+    as its [bytes] argument. *)
 
 val of_ctx : Stc_obs.Run.ctx -> t option
-(** [Some (open_ ?metrics:ctx.metrics dir)] when [ctx.store] is
-    [Some dir]. *)
+(** [Some (open_ ?metrics:ctx.metrics ?trace:ctx.trace dir)] when
+    [ctx.store] is [Some dir]. *)
 
 val dir : t -> string
 

@@ -29,3 +29,11 @@ val cumulative_share : int array -> float array
 val items_for_share : int array -> float -> int
 (** [items_for_share counts s] is the least number of the largest elements
     of [counts] whose sum reaches share [s] of the total (0 if total is 0). *)
+
+val weighted_percentile : (int * int) array -> float -> float
+(** [weighted_percentile pairs p] over [(value, weight)] pairs sorted
+    ascending by value: the smallest value whose cumulative weight
+    reaches share [p] of the total, as a float. No interpolation — the
+    answer is always one of the given values, so it is exact under
+    histogram-bucket merging. Raises [Invalid_argument] on an empty
+    array or nonpositive total weight. *)

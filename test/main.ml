@@ -3,6 +3,7 @@ let () =
     [
       ("util", Test_util.suite);
       ("obs", Test_obs.suite);
+      ("obs-trace", Test_obs_trace.suite);
       ("par", Test_par.suite);
       ("cfg", Test_cfg.suite);
       ("trace", Test_trace.suite);

@@ -161,10 +161,12 @@ let test_export_golden () =
   let expected =
     String.concat "\n"
       [
-        {|{"type":"meta","schema":2}|};
+        {|{"type":"meta","schema":3}|};
         {|{"type":"counter","name":"a.hits","value":3}|};
         {|{"type":"gauge","name":"g","value":1.5}|};
-        {|{"type":"histo","name":"h","total":3,"buckets":[[0,1,1],[8,16,2]]}|};
+        (* quantiles are bucket lower bounds: the weighted median of
+           {0, 10, 10} lands in the [8,16) bucket *)
+        {|{"type":"histo","name":"h","total":3,"p50":8,"p90":8,"p99":8,"buckets":[[0,1,1],[8,16,2]]}|};
         {|{"type":"span","path":"build","depth":0,"calls":1,"seconds":2}|};
         {|{"type":"span","path":"build/inner","depth":1,"calls":2,"seconds":1}|};
         {|{"type":"event","kind":"cell","layout":"ops","miss_pct":1.25}|};
@@ -298,8 +300,8 @@ let test_progress () =
   Obs.Progress.finish p;
   Obs.Progress.finish p;
   Alcotest.(check int) "finish reports once" 4 (List.length !lines);
-  Alcotest.(check bool) "final line labelled" true
-    (contains (List.hd !lines) "trace: 125 events")
+  Alcotest.(check bool) "final line shows count/total" true
+    (contains (List.hd !lines) "trace: 125/100 (125%)")
 
 (* ---------- determinism over the real pipeline ---------- *)
 

@@ -81,6 +81,71 @@ let test_ctx_builders () =
   Alcotest.(check bool) "seed set" true (ctx.Run.seed = Some 7);
   Alcotest.(check bool) "no metrics by default" true (ctx.Run.metrics = None)
 
+(* ---------- per-domain accounting and tracing ---------- *)
+
+let busy_work () =
+  (* a few hundred microseconds of real work per item, so busy times are
+     comfortably non-zero without slowing the suite *)
+  let acc = ref 0 in
+  for i = 1 to 100_000 do
+    acc := (!acc * 31) + i
+  done;
+  !acc
+
+let test_stats_accounting () =
+  Pool.with_pool ~domains:3 @@ fun pool ->
+  let n = 64 in
+  ignore (Pool.map ~chunk:1 pool (fun _ -> busy_work ()) (Array.init n Fun.id));
+  ignore (Pool.map ~chunk:1 pool (fun _ -> busy_work ()) (Array.init n Fun.id));
+  let s = Pool.stats pool in
+  Alcotest.(check int) "domains" 3 s.Pool.s_domains;
+  Alcotest.(check int) "submits" 2 s.Pool.s_submits;
+  Alcotest.(check int) "slots sized to domains" 3 (Array.length s.Pool.s_busy);
+  Alcotest.(check int) "chunks sum to items" (2 * n)
+    (Array.fold_left ( + ) 0 s.Pool.s_chunks);
+  Alcotest.(check bool) "wall positive" true (s.Pool.s_wall > 0.0);
+  (* busy + idle = wall per slot, by construction of idle *)
+  Array.iteri
+    (fun i b ->
+      let sum = b +. s.Pool.s_idle.(i) in
+      if abs_float (sum -. s.Pool.s_wall) > 1e-9 *. Float.max 1.0 s.Pool.s_wall
+      then
+        Alcotest.failf "slot %d: busy %.6f + idle %.6f <> wall %.6f" i b
+          s.Pool.s_idle.(i) s.Pool.s_wall;
+      if b < 0.0 then Alcotest.failf "slot %d: negative busy" i)
+    s.Pool.s_busy;
+  (* every domain claimed at least one of the 128 single-item chunks *)
+  Array.iteri
+    (fun i c -> if c = 0 then Alcotest.failf "slot %d claimed no chunks" i)
+    s.Pool.s_chunks
+
+let test_pool_tracing () =
+  let tr = Stc_obs.Trace.create () in
+  (Pool.with_pool ~domains:2 ~trace:tr @@ fun pool ->
+   ignore (Pool.map ~chunk:4 pool (fun _ -> busy_work ()) (Array.init 32 Fun.id)));
+  (* 8 chunks, each a queue-depth counter plus a begin/end pair *)
+  Alcotest.(check int) "3 events per chunk" 24 (Stc_obs.Trace.events tr);
+  let evs =
+    match Json.of_string (Stc_obs.Trace.to_string tr) with
+    | Json.List evs -> evs
+    | _ -> Alcotest.fail "trace not an array"
+  in
+  let ph e =
+    match Json.member "ph" e with Some (Json.Str s) -> s | _ -> "?" in
+  let count p = List.length (List.filter (fun e -> ph e = p) evs) in
+  Alcotest.(check int) "balanced begins" 8 (count "B");
+  Alcotest.(check int) "balanced ends" 8 (count "E");
+  Alcotest.(check int) "queue counters" 8 (count "C")
+
+let test_untraced_pool_silent () =
+  (* no ?trace: the pool must not touch any tracer; a tracer created on
+     the side sees zero events either way *)
+  let tr = Stc_obs.Trace.create () in
+  (Pool.with_pool ~domains:2 @@ fun pool ->
+   ignore (Pool.map pool (fun x -> x + 1) (Array.init 100 Fun.id)));
+  Alcotest.(check int) "no events without ?trace" 0 (Stc_obs.Trace.events tr);
+  Alcotest.(check int) "no drops either" 0 (Stc_obs.Trace.dropped tr)
+
 (* ---------- jobs-invariance of the simulation grid ---------- *)
 
 let tiny_config = { Pipeline.quick_config with Pipeline.sf = 0.0003 }
@@ -128,5 +193,9 @@ let suite =
     Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
     Alcotest.test_case "shutdown" `Quick test_shutdown;
     Alcotest.test_case "Run.ctx builders" `Quick test_ctx_builders;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "pool chunk tracing" `Quick test_pool_tracing;
+    Alcotest.test_case "untraced pool emits nothing" `Quick
+      test_untraced_pool_silent;
     Alcotest.test_case "jobs-invariant grid" `Slow test_jobs_invariance;
   ]
