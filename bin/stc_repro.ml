@@ -97,6 +97,18 @@ let trace_arg =
            tracer is entirely absent and the run's outputs are \
            byte-identical to an untraced run.")
 
+let stream_arg =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:
+          "Replay each simulation cell through the bounded segment \
+           pipeline (Stc_trace.Source → Stc_fetch.Stream → \
+           Engine.run_stream) instead of a fully materialized packed \
+           trace image. Results, tables and metric exports are \
+           byte-identical; only the peak resident trace footprint \
+           changes.")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -211,8 +223,8 @@ let characterize_cmd =
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
       $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
-let simulate_run quick sf seed frames jobs store exec branch metrics trace
-    progress =
+let simulate_run quick sf seed frames jobs store exec branch streamed metrics
+    trace progress =
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
   check_out_path "trace" trace;
@@ -222,7 +234,7 @@ let simulate_run quick sf seed frames jobs store exec branch metrics trace
   Printf.printf "Simulating the full Table 3 / Table 4 grid (%d jobs)...\n%!"
     ctx.Run.jobs;
   let t0 = Unix.gettimeofday () in
-  let rows = E.simulate ~ctx ~config:(sim_config exec branch) pl in
+  let rows = E.simulate ~ctx ~config:(sim_config exec branch) ~streamed pl in
   Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
     (Unix.gettimeofday () -. t0);
   E.print_table3 rows;
@@ -237,20 +249,21 @@ let simulate_run quick sf seed frames jobs store exec branch metrics trace
 let simulate_term =
   Term.(
     const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-    $ store_arg $ exec_arg $ branch_arg $ metrics_arg $ trace_arg $ progress_arg)
+    $ store_arg $ exec_arg $ branch_arg $ stream_arg $ metrics_arg $ trace_arg
+    $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames jobs store metrics trace progress =
+  let run quick sf seed frames jobs store streamed metrics trace progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
     check_out_path "trace" trace;
     let tracer = make_tracer trace in
     let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
-    E.print_ablation (E.ablation ~ctx pl);
+    E.print_ablation (E.ablation ~ctx ~streamed pl);
     report_store reg store;
     finish_metrics reg metrics;
     finish_trace tracer trace
@@ -259,7 +272,7 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
+      $ store_arg $ stream_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let extensions_cmd =
   let run quick sf seed frames jobs store metrics trace progress =

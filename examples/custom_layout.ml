@@ -103,7 +103,9 @@ let () =
 
   (* profile it and compare layouts *)
   let profile = Stc_profile.Profile.create program in
-  Stc_trace.Recorder.replay recorder (Stc_profile.Profile.sink profile);
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder recorder)
+    (Stc_profile.Profile.sink profile);
   let params =
     L.Stc.params ~exec_threshold:10 ~branch_threshold:0.3 ~cache_bytes:1024
       ~cfa_bytes:256 ()
@@ -120,7 +122,10 @@ let () =
   Printf.printf "%-6s %12s %8s %10s\n" "layout" "miss/100instr" "IPC" "seq-run";
   List.iter
     (fun layout ->
-      let view = F.View.create program layout recorder in
+      let view =
+        F.View.create program layout
+          (Stc_trace.Source.of_recorder recorder)
+      in
       let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
       let r = F.Engine.run ~icache view in
       Printf.printf "%-6s %13.2f %8.2f %10.1f\n" layout.L.Layout.name

@@ -31,7 +31,9 @@ let () =
         the SEQ.3 fetch unit under each layout. *)
   List.iter
     (fun layout ->
-      let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
+      let view =
+        F.View.create pl.Pipeline.program layout (Pipeline.test_source pl)
+      in
       let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
       let r = F.Engine.run ~icache view in
       Printf.printf

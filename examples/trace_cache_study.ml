@@ -22,7 +22,9 @@ let () =
       ~seeds:(L.Stc.ops_seeds pl.Pipeline.profile)
   in
   let run layout ~tc =
-    let view = F.View.create pl.Pipeline.program layout pl.Pipeline.test in
+    let view =
+      F.View.create pl.Pipeline.program layout (Pipeline.test_source pl)
+    in
     let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
     let trace_cache = if tc then Some (F.Tracecache.create ()) else None in
     let r = F.Engine.run ~icache ?trace_cache view in

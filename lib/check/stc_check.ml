@@ -647,8 +647,11 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
     in
     let views =
       [
-        ("orig", View.create prog (L.Original.layout prog) pl.Pipeline.test);
-        ("ops", View.create prog ops pl.Pipeline.test);
+        ( "orig",
+          View.create prog
+            (L.Original.layout prog)
+            (Pipeline.test_source pl) );
+        ("ops", View.create prog ops (Pipeline.test_source pl));
       ]
     in
     List.concat_map

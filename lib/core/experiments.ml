@@ -211,6 +211,11 @@ type cell = {
   c_variant : variant;
   c_cache_kb : int;
   c_cfa_kb : int option;
+  c_streamed : bool;
+      (* replay through Engine.run_stream over bounded segments instead
+         of a whole compiled image; results are identical by
+         construction, so streamed cells share store keys with
+         materialized ones *)
 }
 
 (* Compiled packed trace views, shared per layout.  Many cells replay the
@@ -250,13 +255,14 @@ module Pcache = struct
     match List.assq_opt layout t.entries with
     | None ->
       (* not planned through [of_cells]; compile without caching *)
-      F.Packed.compile t.pl.Pipeline.program layout t.pl.Pipeline.test
+      F.Packed.compile t.pl.Pipeline.program layout (Pipeline.test_source t.pl)
     | Some e -> (
       match e.packed with
       | Some p -> p
       | None ->
         let p =
-          F.Packed.compile t.pl.Pipeline.program layout t.pl.Pipeline.test
+          F.Packed.compile t.pl.Pipeline.program layout
+            (Pipeline.test_source t.pl)
         in
         e.packed <- Some p;
         p)
@@ -301,7 +307,6 @@ let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
   let c = cell.c_config in
   let cache_kb = cell.c_cache_kb in
   let simulate () =
-    let packed = Pcache.acquire pcache cell.c_layout in
     let icache =
       match cell.c_variant with
       | Ideal | Tc_ideal -> None
@@ -328,8 +333,20 @@ let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
       in
       match trace with Some tr -> Run.with_trace tr c0 | None -> c0
     in
-    F.Engine.run_packed ~ctx ~config:(engine_config c) ?icache ?trace_cache
-      packed
+    if cell.c_streamed then begin
+      (* per-cell tables are O(static blocks) — noise next to the replay;
+         the trace itself flows through bounded segments, never a whole
+         image *)
+      let pl = pcache.Pcache.pl in
+      let tables = F.Packed.tables pl.Pipeline.program cell.c_layout in
+      let stream = F.Stream.create tables (Pipeline.test_source pl) in
+      F.Engine.run_stream ~ctx ~config:(engine_config c) ?icache ?trace_cache
+        stream
+    end
+    else
+      let packed = Pcache.acquire pcache cell.c_layout in
+      F.Engine.run_packed ~ctx ~config:(engine_config c) ?icache ?trace_cache
+        packed
   in
   let r =
     match store with
@@ -489,7 +506,7 @@ let layout_cache ~ctx (pl : Pipeline.t) =
 (* The serial prefix: build every layout (cheap, and Profile memoizes a
    successor cache that must not be raced) and list the grid's cells in
    the exact order the serial implementation visited them. *)
-let plan_simulate ~ctx config (pl : Pipeline.t) =
+let plan_simulate ~ctx ~streamed config (pl : Pipeline.t) =
   let span name f = Run.span ctx name f in
   let cached_layout = layout_cache ~ctx pl in
   let profile = pl.Pipeline.profile in
@@ -509,6 +526,7 @@ let plan_simulate ~ctx config (pl : Pipeline.t) =
         c_variant = variant;
         c_cache_kb = cache_kb;
         c_cfa_kb = cfa_kb;
+        c_streamed = streamed;
       }
       :: !cells
   in
@@ -568,9 +586,10 @@ let plan_simulate ~ctx config (pl : Pipeline.t) =
     config.grid;
   List.rev !cells
 
-let simulate ?(ctx = Run.default) ?(config = default_sim_config) pl =
+let simulate ?(ctx = Run.default) ?(config = default_sim_config)
+    ?(streamed = false) pl =
   Run.span ctx "simulate-grid" @@ fun () ->
-  exec_cells ~ctx ~label:"simulate" pl (plan_simulate ~ctx config pl)
+  exec_cells ~ctx ~label:"simulate" pl (plan_simulate ~ctx ~streamed config pl)
 
 (* ---------- table rendering ---------- *)
 
@@ -766,8 +785,8 @@ type ablation_row = {
   a_bandwidth : float;
 }
 
-let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
-    (pl : Pipeline.t) =
+let ablation_gen ~ctx ?(streamed = false) ~cache_kb ~exec_thresholds
+    ~branch_thresholds ~cfa_kbs (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
   let cached_layout = layout_cache ~ctx pl in
   (* serial prefix: one ops layout per sweep point *)
@@ -812,6 +831,7 @@ let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
                   c_variant = Direct;
                   c_cache_kb = cache_kb;
                   c_cfa_kb = Some a_cfa_kb;
+                  c_streamed = streamed;
                 }
                 :: !cells)
             cfa_kbs)
@@ -829,11 +849,12 @@ let ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs
       })
     (List.rev !metas) rows
 
-let ablation ?(ctx = Run.default) ?(cache_kb = 32)
+let ablation ?(ctx = Run.default) ?(streamed = false) ?(cache_kb = 32)
     ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
     ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
     (pl : Pipeline.t) =
-  ablation_gen ~ctx ~cache_kb ~exec_thresholds ~branch_thresholds ~cfa_kbs pl
+  ablation_gen ~ctx ~streamed ~cache_kb ~exec_thresholds ~branch_thresholds
+    ~cfa_kbs pl
 
 let ablation_row_to_string r =
   Printf.sprintf "exec=%d branch=%.2f cfa=%d miss=%.6f bw=%.6f" r.a_exec

@@ -72,11 +72,19 @@ val row_to_string : row -> string
 (** One stable, locale-independent line per row ([%.6f] floats) — the
     golden-regression snapshot format of [tools/golden]. *)
 
-val simulate : ?ctx:Run.ctx -> ?config:sim_config -> Pipeline.t -> row list
+val simulate :
+  ?ctx:Run.ctx -> ?config:sim_config -> ?streamed:bool -> Pipeline.t -> row list
 (** Run every configuration of Tables 3 and 4 once over the Test trace
     (each row is one trace-driven simulation). Layout construction is a
     serial prefix; the cells then run on [ctx.jobs] domains ([1] =
-    in-process serial, the default). With [ctx.metrics], the whole grid
+    in-process serial, the default).
+
+    With [~streamed:true] each cell replays the Test trace through a
+    bounded segment pipeline ({!Stc_trace.Source} →
+    {!Stc_fetch.Stream} → {!Stc_fetch.Engine.run_stream}) instead of a
+    fully materialized {!Stc_fetch.Packed} image; results and exported
+    counters are identical by construction, so streamed cells share
+    artifact-store keys with materialized ones. With [ctx.metrics], the whole grid
     runs inside a [simulate-grid] span (layout construction in child
     spans), the fetch engine accumulates its [engine.*] counters, and
     every simulation emits one [table34.cell] event carrying the row plus
@@ -112,6 +120,7 @@ type ablation_row = {
 
 val ablation :
   ?ctx:Run.ctx ->
+  ?streamed:bool ->
   ?cache_kb:int ->
   ?exec_thresholds:int list ->
   ?branch_thresholds:float list ->
@@ -120,7 +129,9 @@ val ablation :
   ablation_row list
 (** Sweep the STC parameters (ops seeds) at one cache size. Layout
     construction is a serial prefix; sweep points run on [ctx.jobs]
-    domains with the same determinism guarantee as {!simulate}. With
+    domains with the same determinism guarantee as {!simulate}.
+    [~streamed:true] replays each point through the segment pipeline,
+    exactly as in {!simulate}. With
     [ctx.metrics], each sweep point emits one [ablation.cell] event.
     [ctx.store] caches the swept layouts and per-point engine results
     exactly as in {!simulate}. *)

@@ -21,7 +21,7 @@ let fetch_run ~ctx ?(assoc = 1) ?config program layout trace ~cache_kb
   match Stc_store.of_ctx ctx with
   | None ->
     F.Engine.run ~ctx ~config ~icache:(icache ()) ?prediction
-      (F.View.create program layout trace)
+      (F.View.create program layout (Stc_trace.Source.of_recorder trace))
   | Some st -> (
     let prog_fp = Stc_store.Fp.program program in
     let lay_fp = Stc_store.Fp.layout layout in
@@ -31,7 +31,7 @@ let fetch_run ~ctx ?(assoc = 1) ?config program layout trace ~cache_kb
         Stc_store.Key.of_parts [ "packed"; prog_fp; lay_fp; trace_fp ]
       in
       Stc_store.Packed.cached (Some st) ~key (fun () ->
-          F.View.pack (F.View.create program layout trace))
+          F.Packed.compile program layout (Stc_trace.Source.of_recorder trace))
     in
     match prediction with
     | Some _ ->
@@ -171,7 +171,9 @@ let oltp ?(ctx = Run.default) ?(train_txns = 300) ?(test_txns = 600)
     Stc_workload.Oltp.record ~kernel ~walker_seed:0x02AFL ~db ~txns:test_mix
   in
   let profile = P.Profile.create pl.Pipeline.program in
-  Stc_trace.Recorder.replay train (P.Profile.sink profile);
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder train)
+    (P.Profile.sink profile);
   let run layout =
     let r = fetch_run ~ctx pl.Pipeline.program layout test ~cache_kb () in
     {
@@ -327,7 +329,8 @@ let per_query ?(ctx = Run.default) ?(cache_kb = 16) (pl : Pipeline.t) =
     (fun (name, lo, hi) ->
       let miss layout =
         let section = Stc_trace.Recorder.create () in
-        Stc_trace.Recorder.replay_range pl.Pipeline.test ~lo ~hi
+        Stc_trace.Source.iter
+          (Stc_trace.Source.of_recorder ~lo ~hi pl.Pipeline.test)
           (Stc_trace.Recorder.sink section);
         F.Engine.miss_rate_pct
           (fetch_run ~ctx prog layout section ~cache_kb ())

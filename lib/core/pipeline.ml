@@ -81,13 +81,12 @@ let config_fingerprint (config : config) =
    static block sizes ([Recorder.of_ids] already restored the trace's
    own counters). *)
 let attach_warm_metrics reg ~prefix program recorder =
-  let ids = Recorder.raw_ids recorder in
   let n = Recorder.length recorder in
   let blocks = program.Stc_cfg.Program.blocks in
   let instrs = ref 0 in
-  for i = 0 to n - 1 do
-    instrs := !instrs + blocks.(ids.(i)).Stc_cfg.Block.size
-  done;
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder recorder)
+    (fun bid -> instrs := !instrs + blocks.(bid).Stc_cfg.Block.size);
   let module Reg = Stc_obs.Registry in
   let module Counter = Stc_obs.Metric.Counter in
   Counter.add (Reg.counter reg (prefix ^ "walker.blocks")) n;
@@ -133,7 +132,7 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
             let key =
               Stc_store.Key.of_parts [ "pipeline-trace"; cfg_fp; prog_fp; which ]
             in
-            match Stc_store.Trace.load st ~key with
+            match Stc_store.Chunked.load st ~key with
             | Some recorder ->
                 (match metrics with
                 | Some reg ->
@@ -143,7 +142,7 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
                 recorder
             | None ->
                 let recorder = fresh () in
-                Stc_store.Trace.save st ~key recorder;
+                Stc_store.Chunked.save st ~key recorder;
                 recorder))
   in
   let training =
@@ -159,7 +158,9 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
   in
   let profile = Profile.create kernel.Kernel.program in
   span "build-profile" (fun () ->
-      Recorder.replay training (Profile.sink profile));
+      Stc_trace.Source.iter
+        (Stc_trace.Source.of_recorder training)
+        (Profile.sink profile));
   (match metrics with
   | Some reg ->
     let module Reg = Stc_obs.Registry in
@@ -183,6 +184,12 @@ let run ?(ctx = Run.default) ?(config = default_config) () =
     profile;
   }
 
-let replay_test t f = Recorder.replay t.test f
+let test_source ?segment_blocks t =
+  Stc_trace.Source.of_recorder ?segment_blocks t.test
 
-let replay_training t f = Recorder.replay t.training f
+let training_source ?segment_blocks t =
+  Stc_trace.Source.of_recorder ?segment_blocks t.training
+
+let replay_test t f = Stc_trace.Source.iter (test_source t) f
+
+let replay_training t f = Stc_trace.Source.iter (training_source t) f

@@ -55,13 +55,26 @@ val run : ?ctx:Run.ctx -> ?config:config -> unit -> t
     sequential; pass the same [ctx] on to {!Experiments.simulate}.
 
     With [ctx.store], the training and test recordings are consulted in
-    the artifact store before being re-walked, and saved after a fresh
-    recording. A store hit re-registers the walker/trace counters with
-    the values a recording would have produced, so cold and warm runs
-    export identical metrics; kernel build, data generation and database
-    loading always run (databases are mutable inputs to later stages,
-    and their load cost is small next to trace recording). *)
+    the artifact store before being re-walked (as chunked entries —
+    {!Stc_store.Chunked} — one manifest plus per-segment containers),
+    and saved after a fresh recording. A store hit re-registers the
+    walker/trace counters with the values a recording would have
+    produced, so cold and warm runs export identical metrics; kernel
+    build, data generation and database loading always run (databases
+    are mutable inputs to later stages, and their load cost is small
+    next to trace recording). *)
+
+val test_source : ?segment_blocks:int -> t -> Stc_trace.Source.t
+(** A fresh segment source over the Test trace (single-shot; mint one
+    per replay). [segment_blocks] defaults to
+    {!Stc_trace.Source.default_segment_blocks}. *)
+
+val training_source : ?segment_blocks:int -> t -> Stc_trace.Source.t
+(** Same over the Training trace. *)
 
 val replay_test : t -> (int -> unit) -> unit
+(** [Source.iter (test_source t)] — convenience wrapper over the source
+    API for block-at-a-time consumers. *)
 
 val replay_training : t -> (int -> unit) -> unit
+(** Same over the Training trace. *)

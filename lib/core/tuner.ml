@@ -90,7 +90,7 @@ let tune ?(ctx = Run.default) ?(cache_kb = 32) ?(space = default_space)
   let score layout =
     let fresh () =
       let view =
-        F.View.create pl.Pipeline.program layout pl.Pipeline.training
+        F.View.create pl.Pipeline.program layout (Pipeline.training_source pl)
       in
       let icache =
         Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ()

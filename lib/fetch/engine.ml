@@ -79,33 +79,160 @@ let publish reg r =
 
 (* The packed fast path: one unsafe word read per block, all statistics
    accumulated in local ints and flushed to the caches' shared counters
-   once after the stream ends. Cycle accounting is line-for-line the
-   model of [run_naive] below; the two must stay result-identical (the
-   equality is property-tested and asserted by @perf-smoke). *)
-(* Timeline slices are one per replay — never per block: at millions of
-   blocks per second even a no-op emission call in the inner loop would
-   dominate the engine. *)
+   at segment boundaries. Cycle accounting is line-for-line the model of
+   [run_naive] below; the two must stay result-identical (the equality
+   is property-tested and asserted by @perf-smoke). *)
+(* Timeline slices are one per replay plus one per consumed segment —
+   never per block: at millions of blocks per second even a no-op
+   emission call in the inner loop would dominate the engine. *)
 let traced ctx name f =
   match Option.bind ctx (fun c -> c.Stc_obs.Run.trace) with
   | None -> f ()
   | Some tr -> Stc_obs.Trace.span tr name f
 
-let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
-    packed =
-  traced ctx "engine.run_packed" @@ fun () ->
+(* The one engine core, driven by a pull of packed segments whose
+   concatenation is the trace. A bounded sliding buffer keeps at least
+   [need] words of lookahead ahead of the current index (except at true
+   end of stream), where [need] covers the engine's maximal forward
+   reach within one fetch cycle:
+
+   - a sequential cycle completes at most [2 * line_bytes / instr_bytes]
+     blocks (every block is >= 1 instruction, the window is two lines)
+     and then peeks one block past the last completion;
+   - a trace-cache build/lookup walks at most [width] completed blocks
+     from the cycle's start.
+
+   Refills happen only between fetch cycles, so inner loops never see a
+   segment boundary — which is why the streamed replay is bit-identical
+   to a whole-trace replay at any segment size. The first segment is
+   borrowed (never copied or mutated): a single-segment stream — i.e.
+   [run_packed] — runs zero-copy over the caller's image. *)
+let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
+    ?prediction ?resident_hwm ~name pull =
+  traced ctx name @@ fun () ->
   let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
-  let words = Packed.raw packed in
-  let len = Packed.length packed in
+  let tracer = Option.bind ctx (fun c -> c.Stc_obs.Run.trace) in
+  let seg_slice_id =
+    match tracer with
+    | Some tr -> Stc_obs.Trace.intern tr "engine.segment"
+    | None -> 0
+  in
   let line = config.line_bytes in
   let max_branches = config.max_branches in
   let miss_penalty = config.miss_penalty in
   let instr_bytes = Stc_cfg.Block.instr_bytes in
+  let need =
+    let tc_width =
+      match trace_cache with Some tc -> Tracecache.width tc | None -> 0
+    in
+    max tc_width (2 * line / instr_bytes) + 2
+  in
   let cycles = ref 0 and penalties = ref 0 and instrs = ref 0 in
   let seq_cycles = ref 0 and tc_cycles = ref 0 in
   let cond_branches = ref 0 in
   let ic_accesses = ref 0 and ic_misses = ref 0 and ic_vhits = ref 0 in
   let tc_lookups = ref 0 and tc_hits = ref 0 in
+  (* sliding buffer state; [idx] is buffer-local, [dropped] is the count
+     of words retired from the buffer, so [dropped + idx] is the global
+     trace index *)
+  let buf = ref [||] and avail = ref 0 in
+  let owned = ref false and eos = ref false in
+  let dropped = ref 0 in
+  let bview =
+    ref (Packed.of_raw ~words:[||] ~len:0 ~total_instrs:0 ~taken_branches:0)
+  in
+  let sum_instrs = ref 0 and sum_taken = ref 0 in
+  let hwm = ref 0 in
+  let pulled = ref 0 in
   let idx = ref 0 and off = ref 0 in
+  let seg_start =
+    ref (match tracer with Some tr -> Stc_obs.Trace.now tr | None -> 0.0)
+  in
+  let seg_mark = ref 0 in
+  let seg_slice () =
+    match tracer with
+    | None -> ()
+    | Some tr ->
+      let gpos = !dropped + !idx in
+      Stc_obs.Trace.complete ~arg:(gpos - !seg_mark) tr seg_slice_id
+        ~start:!seg_start;
+      seg_mark := gpos;
+      seg_start := Stc_obs.Trace.now tr
+  in
+  let flush_stats () =
+    (match icache with
+    | Some c ->
+      Icache.add_stats c ~accesses:!ic_accesses ~misses:!ic_misses
+        ~victim_hits:!ic_vhits;
+      ic_accesses := 0;
+      ic_misses := 0;
+      ic_vhits := 0
+    | None -> ());
+    match trace_cache with
+    | Some tc ->
+      Tracecache.add_stats tc ~lookups:!tc_lookups ~hits:!tc_hits;
+      tc_lookups := 0;
+      tc_hits := 0
+    | None -> ()
+  in
+  let append p =
+    sum_instrs := !sum_instrs + Packed.total_instrs p;
+    sum_taken := !sum_taken + Packed.taken_branches p;
+    let plen = Packed.length p in
+    if (not !owned) && !avail - !idx = 0 then begin
+      (* nothing live: borrow the segment's own array, no copy *)
+      dropped := !dropped + !idx;
+      buf := Packed.raw p;
+      idx := 0;
+      avail := plen;
+      bview := p
+    end
+    else begin
+      (if not !owned then begin
+         (* first spill past a borrowed segment: switch to an owned
+            buffer holding the live tail plus the new segment *)
+         let live = !avail - !idx in
+         let nb = Array.make (max (live + plen) (need + plen)) 0 in
+         Array.blit !buf !idx nb 0 live;
+         dropped := !dropped + !idx;
+         buf := nb;
+         owned := true;
+         avail := live;
+         idx := 0
+       end
+       else begin
+         if !idx > 0 then begin
+           (* compact the consumed prefix *)
+           Array.blit !buf !idx !buf 0 (!avail - !idx);
+           dropped := !dropped + !idx;
+           avail := !avail - !idx;
+           idx := 0
+         end;
+         if !avail + plen > Array.length !buf then begin
+           let nb = Array.make (max (!avail + plen) (need + plen)) 0 in
+           Array.blit !buf 0 nb 0 !avail;
+           buf := nb
+         end
+       end);
+      Array.blit (Packed.raw p) 0 !buf !avail plen;
+      avail := !avail + plen;
+      bview :=
+        Packed.of_raw ~words:!buf ~len:!avail ~total_instrs:0
+          ~taken_branches:0
+    end;
+    if Array.length !buf > !hwm then hwm := Array.length !buf
+  in
+  let refill () =
+    match pull () with
+    | None -> eos := true
+    | Some p ->
+      if !pulled > 0 then begin
+        seg_slice ();
+        flush_stats ()
+      end;
+      incr pulled;
+      append p
+  in
   (* direction prediction per executed conditional branch, as in the
      naive path; [w] is the block's packed word *)
   let check_prediction w =
@@ -135,88 +262,95 @@ let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
         incr ic_misses;
         false)
   in
-  while !idx < len do
-    let start_idx = !idx and start_off = !off in
-    let tc_hit =
-      match trace_cache with
-      | None -> None
-      | Some tc ->
-        incr tc_lookups;
-        let r =
-          Tracecache.lookup_uncounted tc packed ~idx:start_idx ~off:start_off
-        in
-        (match r with Some _ -> incr tc_hits | None -> ());
-        r
-    in
-    match tc_hit with
-    | Some info when info.Tracecache.n_instrs > 0 ->
-      incr cycles;
-      incr tc_cycles;
-      instrs := !instrs + info.Tracecache.n_instrs;
-      let stop = info.Tracecache.end_pos.View.idx in
-      (* every block whose final instruction lies inside the trace has its
-         branch resolved here *)
-      for i = !idx to stop - 1 do
-        check_prediction (Array.unsafe_get words i)
-      done;
-      idx := stop;
-      off := info.Tracecache.end_pos.View.off
-    | Some _ | None ->
-      (* sequential cycle *)
-      incr cycles;
-      incr seq_cycles;
-      let a =
-        Packed.w_addr (Array.unsafe_get words start_idx)
-        + (start_off * instr_bytes)
+  while (not !eos) || !idx < !avail do
+    if (not !eos) && !avail - !idx < need then refill ()
+    else begin
+      (* one fetch cycle, entirely within the buffered lookahead *)
+      let words = !buf in
+      let len = !avail in
+      let packed = !bview in
+      let start_idx = !idx and start_off = !off in
+      let tc_hit =
+        match trace_cache with
+        | None -> None
+        | Some tc ->
+          incr tc_lookups;
+          let r =
+            Tracecache.lookup_uncounted tc packed ~idx:start_idx
+              ~off:start_off
+          in
+          (match r with Some _ -> incr tc_hits | None -> ());
+          r
       in
-      let line_no = a / line in
-      let hit1 = access_line (line_no * line) in
-      let hit2 = access_line ((line_no + 1) * line) in
-      if not (hit1 && hit2) then penalties := !penalties + miss_penalty;
-      let window_end = (line_no + 2) * line in
-      let branches = ref 0 in
-      let stop = ref false in
-      while not !stop do
-        let w = Array.unsafe_get words !idx in
-        let size = Packed.w_size w in
-        let cur_addr = Packed.w_addr w + (!off * instr_bytes) in
-        let space = (window_end - cur_addr) / instr_bytes in
-        let remaining = size - !off in
-        let take = if remaining <= space then remaining else space in
-        instrs := !instrs + take;
-        if take < remaining then begin
-          off := !off + take;
-          stop := true
-        end
-        else begin
-          let was_branch = Packed.w_branch w in
-          let taken = Packed.w_taken w in
-          if was_branch then incr branches;
-          check_prediction w;
-          incr idx;
-          off := 0;
-          if taken || (was_branch && !branches >= max_branches) || !idx >= len
-          then stop := true
-          else if Packed.w_addr (Array.unsafe_get words !idx) >= window_end
-          then stop := true
-        end
-      done;
-      (* the fill unit builds a new trace at the missed fetch address *)
-      (match trace_cache with
-      | Some tc -> Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
-      | None -> ())
+      match tc_hit with
+      | Some info when info.Tracecache.n_instrs > 0 ->
+        incr cycles;
+        incr tc_cycles;
+        instrs := !instrs + info.Tracecache.n_instrs;
+        let stop = info.Tracecache.end_pos.View.idx in
+        (* every block whose final instruction lies inside the trace has
+           its branch resolved here *)
+        for i = !idx to stop - 1 do
+          check_prediction (Array.unsafe_get words i)
+        done;
+        idx := stop;
+        off := info.Tracecache.end_pos.View.off
+      | Some _ | None ->
+        (* sequential cycle *)
+        incr cycles;
+        incr seq_cycles;
+        let a =
+          Packed.w_addr (Array.unsafe_get words start_idx)
+          + (start_off * instr_bytes)
+        in
+        let line_no = a / line in
+        let hit1 = access_line (line_no * line) in
+        let hit2 = access_line ((line_no + 1) * line) in
+        if not (hit1 && hit2) then penalties := !penalties + miss_penalty;
+        let window_end = (line_no + 2) * line in
+        let branches = ref 0 in
+        let stop = ref false in
+        while not !stop do
+          let w = Array.unsafe_get words !idx in
+          let size = Packed.w_size w in
+          let cur_addr = Packed.w_addr w + (!off * instr_bytes) in
+          let space = (window_end - cur_addr) / instr_bytes in
+          let remaining = size - !off in
+          let take = if remaining <= space then remaining else space in
+          instrs := !instrs + take;
+          if take < remaining then begin
+            off := !off + take;
+            stop := true
+          end
+          else begin
+            let was_branch = Packed.w_branch w in
+            let taken = Packed.w_taken w in
+            if was_branch then incr branches;
+            check_prediction w;
+            incr idx;
+            off := 0;
+            if
+              taken
+              || (was_branch && !branches >= max_branches)
+              || !idx >= len
+            then stop := true
+            else if Packed.w_addr (Array.unsafe_get words !idx) >= window_end
+            then stop := true
+          end
+        done;
+        (* the fill unit builds a new trace at the missed fetch address *)
+        (match trace_cache with
+        | Some tc ->
+          Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
+        | None -> ())
+    end
   done;
+  if !pulled > 0 then seg_slice ();
   (* flush the locally-batched statistics before anything snapshots the
      caches, so the shared counters end exactly where the per-access
      counting of the naive path would leave them *)
-  (match icache with
-  | Some c ->
-    Icache.add_stats c ~accesses:!ic_accesses ~misses:!ic_misses
-      ~victim_hits:!ic_vhits
-  | None -> ());
-  (match trace_cache with
-  | Some tc -> Tracecache.add_stats tc ~lookups:!tc_lookups ~hits:!tc_hits
-  | None -> ());
+  flush_stats ();
+  (match resident_hwm with Some r -> r := !hwm | None -> ());
   let icache_accesses, icache_misses, icache_victim_hits =
     match icache with
     | None -> (0, 0, 0)
@@ -240,8 +374,10 @@ let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
         | Some tc -> Tracecache.lookups tc);
       tc_hits =
         (match trace_cache with None -> 0 | Some tc -> Tracecache.hits tc);
-      taken_branches = Packed.taken_branches packed;
-      instrs_between_taken = Packed.instrs_between_taken packed;
+      taken_branches = !sum_taken;
+      instrs_between_taken =
+        (if !sum_taken = 0 then float_of_int !sum_instrs
+         else float_of_int !sum_instrs /. float_of_int !sum_taken);
       cond_branches = !cond_branches;
       mispredictions =
         (match prediction with
@@ -251,6 +387,19 @@ let run_packed ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
   in
   (match metrics with Some reg -> publish reg r | None -> ());
   r
+
+let run_packed ?ctx ?config ?icache ?trace_cache ?prediction packed =
+  let first = ref (Some packed) in
+  run_segments ?ctx ?config ?icache ?trace_cache ?prediction
+    ~name:"engine.run_packed" (fun () ->
+      let p = !first in
+      first := None;
+      p)
+
+let run_stream ?ctx ?config ?icache ?trace_cache ?prediction ?resident_hwm
+    stream =
+  run_segments ?ctx ?config ?icache ?trace_cache ?prediction ?resident_hwm
+    ~name:"engine.run_stream" (fun () -> Stream.next stream)
 
 let run ?ctx ?config ?icache ?trace_cache ?prediction view =
   run_packed ?ctx ?config ?icache ?trace_cache ?prediction (View.pack view)

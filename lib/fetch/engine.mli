@@ -110,7 +110,30 @@ val run_packed :
     by one unsafe packed-word read per block, with cache/trace-cache
     statistics batched in locals and flushed to the shared counters once
     at the end (so counter values, {!Stc_cachesim.Icache.stats}
-    snapshots and metric exports are identical to the naive path's). *)
+    snapshots and metric exports are identical to the naive path's).
+    Internally this is {!run_stream} over a single borrowed segment —
+    the image is never copied. *)
+
+val run_stream :
+  ?ctx:Stc_obs.Run.ctx ->
+  ?config:config ->
+  ?icache:Stc_cachesim.Icache.t ->
+  ?trace_cache:Tracecache.t ->
+  ?prediction:prediction ->
+  ?resident_hwm:int ref ->
+  Stream.t ->
+  result
+(** The streaming path: consume packed segments incrementally through a
+    bounded sliding buffer that always holds enough lookahead for one
+    fetch cycle (two i-cache lines of sequential blocks, or one
+    trace-cache build, whichever is larger). Results, cache statistics
+    and metric exports are bit-identical to {!run_packed} over the
+    concatenated image at {e any} segment size (property-tested), while
+    peak residency stays O(largest segment + lookahead) — measured into
+    [resident_hwm] (high-water mark of the buffer, in words) when given.
+    Statistics are flushed to the shared cache counters at every segment
+    boundary, and with tracing on each consumed segment emits one
+    [engine.segment] slice whose argument is the blocks consumed. *)
 
 val run_naive :
   ?ctx:Stc_obs.Run.ctx ->

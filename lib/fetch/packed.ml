@@ -1,7 +1,8 @@
 module Program = Stc_cfg.Program
 module Block = Stc_cfg.Block
 module Terminator = Stc_cfg.Terminator
-module Recorder = Stc_trace.Recorder
+module Segment = Stc_trace.Segment
+module Source = Stc_trace.Source
 module Layout = Stc_layout.Layout
 
 (* One word per trace index:
@@ -46,21 +47,25 @@ type t = {
   taken_branches : int;
 }
 
-let of_tables ~sizes ~branch_end ~cond_end ~addrs rec_ =
+(* Per-block-id static words (everything but the per-index taken bit),
+   validated once and shared by every segment compiled under the same
+   (program, layout). *)
+type tables = { base : int array }
+
+let tables_of_arrays ~sizes ~branch_end ~cond_end ~addrs =
   let n = Array.length sizes in
   if
     Array.length branch_end <> n
     || Array.length cond_end <> n
     || Array.length addrs <> n
-  then invalid_arg "Packed.of_tables: table lengths differ";
+  then invalid_arg "Packed.tables_of_arrays: table lengths differ";
   for b = 0 to n - 1 do
     if sizes.(b) < 0 || sizes.(b) > max_size then
-      invalid_arg "Packed.of_tables: block size out of range";
+      invalid_arg "Packed.tables_of_arrays: block size out of range";
     if addrs.(b) < 0 || addrs.(b) > max_addr then
-      invalid_arg "Packed.of_tables: block address out of range"
+      invalid_arg "Packed.tables_of_arrays: block address out of range"
   done;
-  (* per-block static word, missing only the per-index taken bit *)
-  let base = Array.make n 0 in
+  let base = Array.make (max n 1) 0 in
   for b = 0 to n - 1 do
     base.(b) <-
       (addrs.(b) lsl addr_shift)
@@ -68,35 +73,11 @@ let of_tables ~sizes ~branch_end ~cond_end ~addrs rec_ =
       lor (if branch_end.(b) then branch_bit else 0)
       lor (if cond_end.(b) then cond_bit else 0)
   done;
-  let len = Recorder.length rec_ in
-  let ids = Recorder.raw_ids rec_ in
-  let words = Array.make (max len 1) 0 in
-  let instrs = ref 0 and taken_n = ref 0 in
-  let instr_bytes = Block.instr_bytes in
-  for i = 0 to len - 1 do
-    let b = Array.unsafe_get ids i in
-    let w = Array.unsafe_get base b in
-    (* the transition i -> i+1 is taken when the next block does not
-       start where this one ends; the final index counts as taken *)
-    let taken =
-      i + 1 >= len
-      ||
-      let next = Array.unsafe_get base (Array.unsafe_get ids (i + 1)) in
-      next lsr addr_shift
-      <> (w lsr addr_shift) + (((w lsr size_shift) land max_size) * instr_bytes)
-    in
-    instrs := !instrs + ((w lsr size_shift) land max_size);
-    if taken then begin
-      incr taken_n;
-      Array.unsafe_set words i (w lor taken_bit)
-    end
-    else Array.unsafe_set words i w
-  done;
-  { words; len; total_instrs = !instrs; taken_branches = !taken_n }
+  { base }
 
-let compile prog layout rec_ =
+let tables prog layout =
   let blocks = prog.Program.blocks in
-  of_tables
+  tables_of_arrays
     ~sizes:(Array.map (fun b -> b.Block.size) blocks)
     ~branch_end:
       (Array.map (fun b -> Terminator.has_branch_instr b.Block.term) blocks)
@@ -106,7 +87,84 @@ let compile prog layout rec_ =
            match b.Block.term with Terminator.Cond _ -> true | _ -> false)
          blocks)
     ~addrs:(Array.init (Array.length blocks) (Layout.address layout))
-    rec_
+
+(* Compile one id segment into [words] starting at [pos]. The taken bit
+   of index i depends on the block at index i+1; at the segment tail that
+   block lives in the {e next} segment ([next_first]), which is how a
+   per-segment compilation stays bit-identical to a whole-trace pass.
+   [next_first = None] means true end of trace: the final index counts
+   as taken. Returns the segment's (instrs, taken) contribution. *)
+let fill_segment tb ~words ~pos seg ~next_first =
+  let base = tb.base in
+  let len = Segment.length seg in
+  let instr_bytes = Block.instr_bytes in
+  let instrs = ref 0 and taken_n = ref 0 in
+  let put i w next =
+    let taken =
+      next lsr addr_shift
+      <> (w lsr addr_shift) + (((w lsr size_shift) land max_size) * instr_bytes)
+    in
+    instrs := !instrs + ((w lsr size_shift) land max_size);
+    if taken then begin
+      incr taken_n;
+      Array.unsafe_set words (pos + i) (w lor taken_bit)
+    end
+    else Array.unsafe_set words (pos + i) w
+  in
+  for i = 0 to len - 2 do
+    let w = Array.unsafe_get base (Segment.unsafe_get seg i) in
+    put i w (Array.unsafe_get base (Segment.unsafe_get seg (i + 1)))
+  done;
+  if len > 0 then begin
+    let w = Array.unsafe_get base (Segment.unsafe_get seg (len - 1)) in
+    match next_first with
+    | Some nb -> put (len - 1) w (Array.unsafe_get base nb)
+    | None ->
+      (* end of trace: counts as taken *)
+      instrs := !instrs + ((w lsr size_shift) land max_size);
+      incr taken_n;
+      Array.unsafe_set words (pos + len - 1) (w lor taken_bit)
+  end;
+  (!instrs, !taken_n)
+
+let of_segment tb seg ~next_first =
+  let len = Segment.length seg in
+  let words = Array.make (max len 1) 0 in
+  let instrs, taken = fill_segment tb ~words ~pos:0 seg ~next_first in
+  { words; len; total_instrs = instrs; taken_branches = taken }
+
+(* first block id of the first non-empty segment *)
+let rec first_of = function
+  | [] -> None
+  | s :: tl -> if Segment.length s = 0 then first_of tl else Some (Segment.first s)
+
+let compile_tables tb source =
+  let segs = ref [] and total = ref 0 in
+  let rec drain () =
+    match Source.next_segment source with
+    | None -> ()
+    | Some s ->
+      segs := s :: !segs;
+      total := !total + Segment.length s;
+      drain ()
+  in
+  drain ();
+  let segs = List.rev !segs in
+  let len = !total in
+  let words = Array.make (max len 1) 0 in
+  let instrs = ref 0 and taken_n = ref 0 in
+  let rec go pos = function
+    | [] -> ()
+    | s :: tl ->
+      let i, k = fill_segment tb ~words ~pos s ~next_first:(first_of tl) in
+      instrs := !instrs + i;
+      taken_n := !taken_n + k;
+      go (pos + Segment.length s) tl
+  in
+  go 0 segs;
+  { words; len; total_instrs = !instrs; taken_branches = !taken_n }
+
+let compile prog layout source = compile_tables (tables prog layout) source
 
 let of_raw ~words ~len ~total_instrs ~taken_branches =
   if len < 0 || len > Array.length words then

@@ -1,40 +1,57 @@
-(** A (layout × recorded trace) pair compiled, once, into a flat
-    immutable representation the fetch engines can replay with zero
-    allocation and no per-query recomputation.
+(** Packed trace images: one immutable int word per trace index.
 
-    {!View} answers every per-block question by indirecting through the
-    [Recorder] (a bounds-checked lookup) into per-block-id tables, and
-    recomputes the layout-dependent [taken] bit from two addresses on
-    every query. Compiling packs the answers for each {e trace index}
-    into one integer word — block address, size, branch-end /
-    conditional-end flags and the precomputed taken bit — so the engine
-    inner loop is a single [Array.unsafe_get] plus shifts per block, and
-    the stream totals fall out of the same single compilation pass.
+    A packed image is the engines' unit of consumption. It is produced
+    either for a whole trace ({!compile}, the materialized path) or per
+    {!Stc_trace.Segment} ({!of_segment}, the streamed path — see
+    {!Stream}); both compile from the same validated per-block
+    {!tables}, and a concatenation of per-segment images is bit-identical
+    to the whole-trace image because the one cross-index dependency (the
+    taken bit looks one block ahead) is supplied explicitly at segment
+    boundaries via [next_first].
 
-    The structure is immutable after {!compile} and safe to share
-    read-only across domains; {!Stc_core}'s experiment grids compile one
-    per distinct layout and share it between all cells that replay that
-    layout. *)
+    Word layout: bits 0–2 flags (taken / branch-end / conditional-end),
+    bits 3–21 block size in instructions (up to 2^19-1), bits 22–62
+    block byte address (up to 2 TB). The structure is immutable after
+    compilation and safe to share read-only across domains; {!Stc_core}'s
+    experiment grids compile one per distinct layout and share it between
+    all cells that replay that layout. *)
 
 type t
 
-val compile :
-  Stc_cfg.Program.t -> Stc_layout.Layout.t -> Stc_trace.Recorder.t -> t
-(** One pass over the recorded trace. Raises [Invalid_argument] if a
-    block size or address does not fit the packed word (sizes up to
-    2^19-1 instructions, addresses up to 2 TB — far beyond any real
-    program). *)
+type tables
+(** Per-block-id static words — everything but the per-index taken bit —
+    validated once per (program, layout) and shared by every segment
+    compiled under it. *)
 
-val of_tables :
+val tables : Stc_cfg.Program.t -> Stc_layout.Layout.t -> tables
+(** Build and validate the per-block tables for a program under a
+    layout. Raises [Invalid_argument] if any block size or address
+    exceeds the packed word's field widths. *)
+
+val tables_of_arrays :
   sizes:int array ->
   branch_end:bool array ->
   cond_end:bool array ->
   addrs:int array ->
-  Stc_trace.Recorder.t ->
-  t
-(** Compile from per-block-id tables (all indexed by block id) instead
-    of a program + layout; this is what {!View.pack} uses so a view and
-    its packed form share exactly the same inputs. *)
+  tables
+(** Same, from pre-extracted per-block-id arrays (the {!View} path, so a
+    view and its packed form share exactly the same inputs). *)
+
+val compile :
+  Stc_cfg.Program.t -> Stc_layout.Layout.t -> Stc_trace.Source.t -> t
+(** Drain the source and compile the whole trace into one image — the
+    materialized path. Equivalent to [compile_tables (tables p l) src]. *)
+
+val compile_tables : tables -> Stc_trace.Source.t -> t
+(** {!compile} with prebuilt tables (amortizes table validation when
+    several traces compile under one layout). Drains the source. *)
+
+val of_segment : tables -> Stc_trace.Segment.t -> next_first:int option -> t
+(** Compile one segment into a standalone image whose stream totals
+    cover just that segment. [next_first] is the first block id of the
+    {e next} segment ([None] at true end of trace) and decides the final
+    index's taken bit — the invariant that makes streamed replay
+    bit-identical to materialized replay. *)
 
 val of_raw :
   words:int array ->
@@ -43,19 +60,20 @@ val of_raw :
   taken_branches:int ->
   t
 (** Rebuild a compiled image from its components — the artifact store's
-    deserialization path, inverse of reading {!raw}/{!length} and the
-    stream totals. Only basic range checks are performed; the words are
-    trusted to be a faithful copy of a previously compiled image. The
-    array is not copied. *)
+    deserialization path and the engine's sliding-buffer views. Only
+    basic range checks are performed; the words are trusted to be a
+    faithful copy of previously compiled words. The array is not
+    copied. *)
 
 val length : t -> int
-(** Number of blocks in the trace. *)
+(** Number of blocks in the image. *)
 
 (** {2 The hot-loop surface}
 
-    [raw t] is the word array itself (never mutate it); decode with the
-    [w_*] accessors. This is what {!Engine.run_packed} and the packed
-    {!Tracecache} paths iterate over. *)
+    [raw t] is the word array itself (never mutate it; indices
+    [>= length t] are padding). Decode with the [w_*] accessors. This is
+    what {!Engine}'s packed loops and the packed {!Tracecache} paths
+    iterate over. *)
 
 val raw : t -> int array
 

@@ -57,6 +57,11 @@ val add_stats : t -> lookups:int -> hits:int -> unit
     should eventually be accounted here ([lookups] calls, of which
     [hits] returned [Some]). *)
 
+val width : t -> int
+(** Configured trace width in instructions — bounds how far ahead of the
+    current index a fill can read, which is what sizes the streaming
+    engine's lookahead buffer. *)
+
 val lookups : t -> int
 
 val hits : t -> int

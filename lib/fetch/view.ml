@@ -1,11 +1,11 @@
 module Program = Stc_cfg.Program
 module Block = Stc_cfg.Block
 module Terminator = Stc_cfg.Terminator
-module Recorder = Stc_trace.Recorder
+module Source = Stc_trace.Source
 module Layout = Stc_layout.Layout
 
 type t = {
-  rec_ : Recorder.t;
+  ids : int array; (* the materialized trace, one block id per index *)
   sizes : int array; (* per block id *)
   branch_end : bool array;
   cond_end : bool array;
@@ -15,9 +15,9 @@ type t = {
 
 type pos = { idx : int; off : int }
 
-let create prog layout rec_ =
+let create prog layout source =
   {
-    rec_;
+    ids = Source.to_array source;
     sizes = Array.map (fun b -> b.Block.size) prog.Program.blocks;
     branch_end =
       Array.map
@@ -32,9 +32,9 @@ let create prog layout rec_ =
     cached_totals = None;
   }
 
-let length t = Recorder.length t.rec_
+let length t = Array.length t.ids
 
-let bid t idx = Recorder.get t.rec_ idx
+let bid t idx = t.ids.(idx)
 
 let block_size t idx = t.sizes.(bid t idx)
 
@@ -74,6 +74,7 @@ let instrs_between_taken t =
   if k = 0 then float_of_int i else float_of_int i /. float_of_int k
 
 let pack t =
-  Packed.of_tables ~sizes:t.sizes ~branch_end:t.branch_end
-    ~cond_end:t.cond_end ~addrs:t.addrs t.rec_
-
+  Packed.compile_tables
+    (Packed.tables_of_arrays ~sizes:t.sizes ~branch_end:t.branch_end
+       ~cond_end:t.cond_end ~addrs:t.addrs)
+    (Source.of_array t.ids)

@@ -1,5 +1,8 @@
-(** A recorded basic-block trace seen through a code layout: the dynamic
-    instruction stream the fetch engines consume.
+(** A basic-block trace seen through a code layout: the dynamic
+    instruction stream the naive reference engine consumes with random
+    access. {!create} drains a {!Stc_trace.Source} and materializes the
+    ids — the View is deliberately the non-streaming path (the oracle
+    the streamed engine is property-tested against).
 
     Positions are (trace index, instruction offset inside that block).
     Whether a transition is a {e taken} branch is a property of the layout:
@@ -11,7 +14,8 @@ type t
 type pos = { idx : int; off : int }
 
 val create :
-  Stc_cfg.Program.t -> Stc_layout.Layout.t -> Stc_trace.Recorder.t -> t
+  Stc_cfg.Program.t -> Stc_layout.Layout.t -> Stc_trace.Source.t -> t
+(** Drains the source (single-shot — mint a fresh source per view). *)
 
 val length : t -> int
 (** Number of blocks in the trace. *)

@@ -182,7 +182,9 @@ let code_growth_pct t = t.growth_pct
 let remap_trace t rec_ =
   let out = Recorder.create () in
   let active = ref None in
-  Recorder.replay rec_ (fun b ->
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder rec_)
+    (fun b ->
       match !active with
       | Some site ->
         (* inside an inlined activation: every block belongs to the leaf
@@ -200,5 +202,7 @@ let remap_trace t rec_ =
 let remap_profile t rec_ =
   let remapped = remap_trace t rec_ in
   let p = Profile.create t.expanded in
-  Recorder.replay remapped (Profile.sink p);
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder remapped)
+    (Profile.sink p);
   p

@@ -10,6 +10,8 @@ module Proc = Stc_cfg.Proc
 module Block = Stc_cfg.Block
 module Terminator = Stc_cfg.Terminator
 module Recorder = Stc_trace.Recorder
+module Segment = Stc_trace.Segment
+module Source = Stc_trace.Source
 module Engine = Stc_fetch.Engine
 
 exception Corrupt of string
@@ -26,6 +28,10 @@ module Key = struct
     |> Fnv.to_hex
 
   let hex k = k
+
+  (* Keys are their hex rendering, so reconstructing one from a scanned
+     file name is the identity. *)
+  let of_hex h = h
 end
 
 (* ------------------------------------------------------------------ *)
@@ -391,10 +397,9 @@ module Trace = struct
   let encode r =
     let b = Buffer.create 4096 in
     let n = Recorder.length r in
-    let ids = Recorder.raw_ids r in
     Enc.varint b n;
     for i = 0 to n - 1 do
-      Enc.varint b ids.(i)
+      Enc.varint b (Recorder.get r i)
     done;
     let marks = Recorder.marks r in
     Enc.varint b (List.length marks);
@@ -424,6 +429,195 @@ module Trace = struct
   let save t ~key r = write t ~kind ~version key (encode r)
 
   let cached store ~key f = cached_with ~load ~save store ~key f
+end
+
+(* Chunked traces: a manifest record plus one CRC-checked container per
+   segment, so huge traces replay warm through a {!Source} without ever
+   being fully resident, and damage is repaired at segment granularity
+   (a re-[save] rewrites only the segments that fail to read back). *)
+module Chunked = struct
+  let manifest_kind = "trace-man"
+
+  let segment_kind = "trace-seg"
+
+  let version = 1
+
+  let default_segment_blocks = Source.default_segment_blocks
+
+  type manifest = {
+    m_total_blocks : int;
+    m_segment_blocks : int;
+    m_seg_lens : int array;
+    m_marks : (string * int) list;
+    m_ids_hash : int64;  (* Recorder.hash of the concatenated ids *)
+  }
+
+  let seg_key key i =
+    Key.of_parts [ segment_kind; Key.hex key; string_of_int i ]
+
+  let encode_manifest m =
+    let b = Buffer.create 256 in
+    Enc.varint b m.m_total_blocks;
+    Enc.varint b m.m_segment_blocks;
+    Enc.varint b (Array.length m.m_seg_lens);
+    Array.iter (Enc.varint b) m.m_seg_lens;
+    Enc.varint b (List.length m.m_marks);
+    List.iter
+      (fun (name, pos) ->
+        Enc.str b name;
+        Enc.varint b pos)
+      m.m_marks;
+    Enc.i64 b m.m_ids_hash;
+    Buffer.contents b
+
+  let decode_manifest payload =
+    let d = Dec.make payload in
+    let m_total_blocks = Dec.varint d in
+    let m_segment_blocks = Dec.varint d in
+    let n_segs = Dec.varint d in
+    let m_seg_lens = Array.init n_segs (fun _ -> Dec.varint d) in
+    let n_marks = Dec.varint d in
+    let m_marks =
+      List.init n_marks (fun _ ->
+          let name = Dec.str d in
+          let pos = Dec.varint d in
+          (name, pos))
+    in
+    let m_ids_hash = Dec.i64 d in
+    Dec.finish d;
+    if Array.fold_left ( + ) 0 m_seg_lens <> m_total_blocks then
+      corrupt "segment lengths do not sum to the total";
+    { m_total_blocks; m_segment_blocks; m_seg_lens; m_marks; m_ids_hash }
+
+  let encode_segment seg =
+    let n = Segment.length seg in
+    let b = Buffer.create ((n * 2) + 8) in
+    Enc.varint b n;
+    for i = 0 to n - 1 do
+      Enc.varint b (Segment.get seg i)
+    done;
+    Buffer.contents b
+
+  let decode_segment ~base payload =
+    let d = Dec.make payload in
+    let n = Dec.varint d in
+    let ids = Segment.alloc n in
+    for i = 0 to n - 1 do
+      Bigarray.Array1.set ids i (Dec.varint d)
+    done;
+    Dec.finish d;
+    Segment.make ids ~base
+
+  let load_manifest t ~key =
+    load_with t ~kind:manifest_kind ~version ~decode:decode_manifest key
+
+  let load_segment t ~key ~base =
+    load_with t ~kind:segment_kind ~version ~decode:(decode_segment ~base) key
+
+  let save ?(segment_blocks = default_segment_blocks) t ~key r =
+    if segment_blocks <= 0 then
+      invalid_arg "Chunked.save: segment_blocks must be positive";
+    let len = Recorder.length r in
+    let n_segs = (len + segment_blocks - 1) / segment_blocks in
+    let m_seg_lens = Array.make n_segs 0 in
+    (* segments first, manifest last: a crash mid-save leaves segments
+       without a manifest (a plain miss), never a manifest pointing at
+       absent segments *)
+    for i = 0 to n_segs - 1 do
+      let base = i * segment_blocks in
+      let blocks = min segment_blocks (len - base) in
+      m_seg_lens.(i) <- blocks;
+      let sk = seg_key key i in
+      let fresh = Recorder.segment r ~base ~blocks in
+      let intact =
+        match load_segment t ~key:sk ~base with
+        | Some old when Segment.length old = blocks ->
+          let rec eq j =
+            j >= blocks
+            || (Segment.get old j = Segment.get fresh j && eq (j + 1))
+          in
+          eq 0
+        | Some _ | None -> false
+      in
+      if not intact then
+        write t ~kind:segment_kind ~version sk (encode_segment fresh)
+    done;
+    let m =
+      {
+        m_total_blocks = len;
+        m_segment_blocks = segment_blocks;
+        m_seg_lens;
+        m_marks = Recorder.marks r;
+        m_ids_hash = Recorder.hash r;
+      }
+    in
+    write t ~kind:manifest_kind ~version key (encode_manifest m)
+
+  let source t ~key =
+    match load_manifest t ~key with
+    | None -> None
+    | Some m ->
+      let n_segs = Array.length m.m_seg_lens in
+      (* Eagerly read and CRC-check every segment once (decoded segments
+         are dropped immediately, so residency stays one segment), and
+         fold the content hash so a damaged or foreign segment degrades
+         to a recompute here rather than failing mid-replay. *)
+      let ok = ref true in
+      let base = ref 0 in
+      let h = ref Fnv.empty in
+      for i = 0 to n_segs - 1 do
+        if !ok then begin
+          match load_segment t ~key:(seg_key key i) ~base:!base with
+          | Some s when Segment.length s = m.m_seg_lens.(i) ->
+            for j = 0 to Segment.length s - 1 do
+              h := Fnv.int !h (Segment.unsafe_get s j)
+            done;
+            base := !base + m.m_seg_lens.(i)
+          | Some _ | None -> ok := false
+        end
+      done;
+      if (not !ok) || !base <> m.m_total_blocks || !h <> m.m_ids_hash then begin
+        if !ok then
+          warning t ~kind:manifest_kind ~key ~reason:"segment content drift";
+        None
+      end
+      else begin
+        let i = ref 0 and pos = ref 0 in
+        let src =
+          Source.make ~total_blocks:m.m_total_blocks (fun () ->
+              if !i >= n_segs then None
+              else begin
+                let sk = seg_key key !i in
+                let b = !pos in
+                let ln = m.m_seg_lens.(!i) in
+                incr i;
+                pos := !pos + ln;
+                match load_segment t ~key:sk ~base:b with
+                | Some s when Segment.length s = ln -> Some s
+                | Some _ | None ->
+                  (* validated moments ago; only a concurrent writer can
+                     get here, and truncating silently would corrupt
+                     results *)
+                  corrupt "chunked segment %d vanished mid-replay" !i
+              end)
+        in
+        Some (m, src)
+      end
+
+  let load t ~key =
+    match source t ~key with
+    | None -> None
+    | Some (m, src) -> (
+      match Source.to_array src with
+      | ids -> Some (Recorder.of_ids ids ~marks:m.m_marks)
+      | exception Corrupt reason ->
+        warning t ~kind:manifest_kind ~key ~reason;
+        None)
+
+  let cached ?segment_blocks store ~key f =
+    cached_with ~load
+      ~save:(fun t ~key r -> save ?segment_blocks t ~key r)
+      store ~key f
 end
 
 module Layout = struct
@@ -689,6 +883,14 @@ let inspect_file path =
             e_ok = true;
             e_reason = None;
           })
+
+let payload_of_file path =
+  match read_file path with
+  | None -> None
+  | Some contents -> (
+      match parse_entry contents with
+      | Error _ -> None
+      | Ok (_kind, _version, payload) -> Some payload)
 
 let scan dirname =
   let readdir d = match Sys.readdir d with a -> a | exception Sys_error _ -> [||] in

@@ -54,6 +54,10 @@ module Key : sig
       [of_parts ["ab"; "c"]] differs from [of_parts ["a"; "bc"]]. *)
 
   val hex : t -> string
+
+  val of_hex : string -> t
+  (** Reconstruct a key from its {!hex} rendering (as scanned from an
+      entry file name) — keys {e are} their hex form, so this is total. *)
 end
 
 type t
@@ -113,6 +117,69 @@ module Trace : sig
 
   val cached :
     t option -> key:Key.t -> (unit -> Stc_trace.Recorder.t) -> Stc_trace.Recorder.t
+end
+
+(** Chunked traces: one manifest entry ([trace-man]) plus one CRC-checked
+    container per segment ([trace-seg]), for traces that should replay
+    warm through a {!Stc_trace.Source} without being fully resident.
+
+    [save] writes segments first and the manifest last (a crash mid-save
+    is a plain miss), skipping segments that already read back intact —
+    so re-saving over a damaged entry rewrites only the broken segments.
+    [source] validates every segment eagerly (read, CRC, content hash
+    against the manifest; O(one segment) resident) and returns [None] on
+    any damage, then serves lazy per-segment pulls. *)
+module Chunked : sig
+  val manifest_kind : string
+
+  val segment_kind : string
+
+  val version : int
+
+  val default_segment_blocks : int
+  (** [Stc_trace.Source.default_segment_blocks]. *)
+
+  type manifest = {
+    m_total_blocks : int;
+    m_segment_blocks : int;  (** Segment size the entry was saved with. *)
+    m_seg_lens : int array;
+    m_marks : (string * int) list;
+    m_ids_hash : int64;  (** {!Stc_trace.Recorder.hash} of the ids. *)
+  }
+
+  val seg_key : Key.t -> int -> Key.t
+  (** Key of the [i]th segment of the chunked entry at [key]. *)
+
+  val decode_manifest : string -> manifest
+  (** Raises {!Corrupt} on malformed bytes ([tools/store_inspect]'s way
+      into manifest entries it finds by scanning). *)
+
+  val decode_segment : base:int -> string -> Stc_trace.Segment.t
+  (** Raises {!Corrupt} on malformed bytes. *)
+
+  val save : ?segment_blocks:int -> t -> key:Key.t -> Stc_trace.Recorder.t -> unit
+
+  val load_manifest : t -> key:Key.t -> manifest option
+
+  val source : t -> key:Key.t -> (manifest * Stc_trace.Source.t) option
+  (** [None] if the manifest is absent or any segment is damaged or
+      drifted (after eager validation of all of them). The returned
+      source re-reads segments lazily, one per pull; if a concurrent
+      writer destroys a segment between validation and its pull, the
+      pull raises {!Corrupt} rather than silently truncating the
+      trace. *)
+
+  val load : t -> key:Key.t -> Stc_trace.Recorder.t option
+  (** Materialize the whole trace (the warm path for consumers that need
+      a {!Stc_trace.Recorder}); [None] under exactly the same conditions
+      as {!source}. *)
+
+  val cached :
+    ?segment_blocks:int ->
+    t option ->
+    key:Key.t ->
+    (unit -> Stc_trace.Recorder.t) ->
+    Stc_trace.Recorder.t
 end
 
 module Layout : sig
@@ -219,6 +286,12 @@ type entry = {
   e_ok : bool;
   e_reason : string option;  (** Why [e_ok] is false. *)
 }
+
+val payload_of_file : string -> string option
+(** The payload of one well-formed entry file (any kind and version),
+    without a handle and without counting; [None] on damage.
+    [tools/store_inspect] pairs this with {!Chunked.decode_manifest} to
+    describe the chunked entries it finds by scanning. *)
 
 val inspect_file : string -> entry
 (** Parse one entry file and verify its checksum, without a handle and

@@ -30,20 +30,21 @@ let attach_metrics t reg ~prefix =
   Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "trace.") reg t.blocks;
   Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "trace.") reg t.n_marks
 
-let replay t f = Vec.iter f t.trace
-
-let replay_range t ~lo ~hi f =
-  for i = lo to min hi (Vec.length t.trace) - 1 do
-    f (Vec.unsafe_get t.trace i)
-  done
-
 let marks t = List.rev t.marks_rev
 
 let get t i = Vec.get t.trace i
 
-let unsafe_get t i = Vec.unsafe_get t.trace i
-
-let raw_ids t = Vec.raw t.trace
+let segment t ~base ~blocks =
+  let len = Vec.length t.trace in
+  if base < 0 || base > len then invalid_arg "Recorder.segment: base out of range";
+  if blocks < 0 then invalid_arg "Recorder.segment: negative block count";
+  let n = min blocks (len - base) in
+  let ids = Segment.alloc n in
+  let raw = Vec.raw t.trace in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set ids i (Array.unsafe_get raw (base + i))
+  done;
+  Segment.make ids ~base
 
 let hash t = Stc_util.Fnv.ints ~len:(Vec.length t.trace) Stc_util.Fnv.empty (Vec.raw t.trace)
 

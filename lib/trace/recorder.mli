@@ -1,8 +1,10 @@
-(** Recording and replaying basic-block traces.
+(** Recording basic-block traces.
 
     The Test-set trace is captured once and replayed through every
     (layout × cache × fetch) configuration, exactly like the paper's
-    trace-driven methodology. *)
+    trace-driven methodology. Replay goes through {!Source} (usually
+    {!Source.of_recorder}): the recorder's only trace-reading surfaces
+    are the bounded {!segment} emitter and the per-index {!get}. *)
 
 type t
 
@@ -21,28 +23,18 @@ val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
 (** Register the recorded-blocks/marks counters with a metrics registry
     under [prefix ^ "trace."]. *)
 
-val replay : t -> (int -> unit) -> unit
-(** Feed every recorded block id, in order, to the consumer. *)
-
-val replay_range : t -> lo:int -> hi:int -> (int -> unit) -> unit
-(** Replay entries with indices in [\[lo, hi)]. *)
-
 val marks : t -> (string * int) list
 (** Marks in recording order with their positions. *)
 
 val get : t -> int -> int
-(** Bounds-checked block id at index [i] — the safe API. *)
+(** Bounds-checked block id at index [i] — the safe point API. *)
 
-val unsafe_get : t -> int -> int
-(** Unchecked {!get}, for hot replay loops that already know the bound. *)
-
-val raw_ids : t -> int array
-(** Read-only view of the underlying storage: the first {!length}
-    entries are the recorded block ids. No copy is made, so compiled
-    trace representations ({!Stc_fetch.Packed}) can scan millions of
-    entries without per-element bounds checks; the reference is
-    invalidated by the next {!sink} that grows the store, so do not hold
-    it across recording. *)
+val segment : t -> base:int -> blocks:int -> Segment.t
+(** The segment emitter: copy up to [blocks] ids starting at global
+    index [base] into a fresh off-heap {!Segment} (shorter at the trace
+    tail; empty at [base = length]). This is the producer side of
+    {!Source.of_recorder} — the copy is the hand-off point after which
+    consumers never touch the recorder's growable buffer. *)
 
 val hash : t -> int64
 (** {!Stc_util.Fnv} (FNV-1a) over the recorded ids — a cheap fingerprint

@@ -1,0 +1,42 @@
+type ids = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { ids : ids; base : int }
+
+let alloc n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout (max n 0)
+
+let make ids ~base =
+  if base < 0 then invalid_arg "Segment.make: negative base";
+  { ids; base }
+
+let of_array ?(base = 0) a =
+  let n = Array.length a in
+  let ids = alloc n in
+  for i = 0 to n - 1 do
+    Bigarray.Array1.unsafe_set ids i (Array.unsafe_get a i)
+  done;
+  make ids ~base
+
+let length t = Bigarray.Array1.dim t.ids
+
+let base t = t.base
+
+let get t i =
+  if i < 0 || i >= length t then invalid_arg "Segment: index out of bounds";
+  Bigarray.Array1.unsafe_get t.ids i
+
+let unsafe_get t i = Bigarray.Array1.unsafe_get t.ids i
+
+let first t = get t 0
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f (Bigarray.Array1.unsafe_get t.ids i)
+  done
+
+let blit_to_array t dst off =
+  let n = length t in
+  if off < 0 || off + n > Array.length dst then
+    invalid_arg "Segment.blit_to_array: range out of bounds";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst (off + i) (Bigarray.Array1.unsafe_get t.ids i)
+  done

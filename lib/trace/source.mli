@@ -1,0 +1,58 @@
+(** The one way trace data flows to consumers: a pull-based stream of
+    bounded off-heap {!Segment}s.
+
+    Every producer — an in-memory {!Recorder}, the artifact store's
+    chunked entries ([Stc_store.Chunked.source]), a synthetic test
+    vector — is adapted to this interface, and every consumer (profile
+    building, packed compilation, the fetch engines) pulls segments
+    through it. A source is single-shot: once {!next_segment} returns
+    [None] it stays exhausted; producers that can replay (recorders,
+    the store) mint a fresh source per replay.
+
+    Segment boundaries are invisible to consumers' {e results}: replay
+    through a source is bit-identical to replay over the materialized
+    trace at any segment size (property-tested), while peak residency
+    stays O(segments in flight × segment size). *)
+
+type t
+
+val make : ?total_blocks:int -> (unit -> Segment.t option) -> t
+(** Wrap a pull function. The function must yield consecutive segments
+    with correct {!Segment.base} indices and then [None] forever.
+    [total_blocks], when known, sizes progress reports and
+    preallocations. *)
+
+val next_segment : t -> Segment.t option
+(** Pull the next segment; [None] when the trace is exhausted. *)
+
+val total_blocks : t -> int option
+
+val default_segment_blocks : int
+(** Default producer segment size (65536 blocks ≈ 512 KB of ids): large
+    enough that per-segment overhead (compile setup, store round-trips)
+    is noise, small enough that a handful in flight stay cache- and
+    memory-friendly. See EXPERIMENTS.md for how to pick. *)
+
+val of_recorder : ?segment_blocks:int -> ?lo:int -> ?hi:int -> Recorder.t -> t
+(** Stream a recorded trace as segments of at most [segment_blocks]
+    (default {!default_segment_blocks}), restricted to global indices
+    [\[lo, hi)] when given (the full trace otherwise). Segments are
+    copied out of the recorder lazily, one per pull. *)
+
+val of_segments : Segment.t list -> t
+(** The bounded in-memory adapter: yield exactly these segments, in
+    order. The list defines the stream — callers are responsible for
+    consecutive bases (as {!of_array} slicing produces). *)
+
+val of_array : ?segment_blocks:int -> int array -> t
+(** Slice a plain id array into segments (tests; also {!of_segments}'
+    usual feeder). *)
+
+val iter : t -> (int -> unit) -> unit
+(** Drain the source, feeding every block id in order to the consumer —
+    the streamed replacement for the old [Recorder.replay]. *)
+
+val to_array : t -> int array
+(** Drain the source into a heap array (the explicit materialization
+    point for consumers that need random access, e.g. the naive
+    reference engine's {!Stc_fetch.View}). *)

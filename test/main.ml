@@ -15,6 +15,7 @@ let () =
       ("layout", Test_layout.suite);
       ("cachesim", Test_cachesim.suite);
       ("fetch", Test_fetch.suite);
+      ("stream", Test_stream.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);

@@ -231,7 +231,9 @@ let prop_oracle_engines_agree =
     (fun (skel, layout_seed) ->
       let prog, rec_ = trace_of_skeleton skel in
       let layout = Test_fetch.random_layout prog layout_seed in
-      let view = F.View.create prog layout rec_ in
+      let view =
+        F.View.create prog layout (Stc_trace.Source.of_recorder rec_)
+      in
       List.iter
         (fun case ->
           let r = C.diff_engines ~layout_name:"rand" view case in

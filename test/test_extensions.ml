@@ -34,7 +34,7 @@ let test_inline_remap_is_legal_walk () =
     (Recorder.length remapped);
   match
     Stc_trace.Check.check_all (L.Inline.program tr) (fun f ->
-        Recorder.replay remapped f)
+        Stc_trace.Source.iter (Stc_trace.Source.of_recorder remapped) f)
   with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
@@ -47,7 +47,7 @@ let test_inline_preserves_instr_count_modulo_calls () =
   let prog = pl.Pipeline.program and prog' = L.Inline.program tr in
   let count prog rec_ =
     let total = ref 0 in
-    Recorder.replay rec_ (fun b ->
+    Stc_trace.Source.iter (Stc_trace.Source.of_recorder rec_) (fun b ->
         total := !total + prog.Stc_cfg.Program.blocks.(b).Stc_cfg.Block.size);
     !total
   in
@@ -101,7 +101,7 @@ let test_oltp_trace_legal () =
   Alcotest.(check int) "marks per txn" 20 (List.length (Recorder.marks rec_));
   match
     Stc_trace.Check.check_all pl.Pipeline.program (fun f ->
-        Recorder.replay rec_ f)
+        Stc_trace.Source.iter (Stc_trace.Source.of_recorder rec_) f)
   with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
@@ -165,7 +165,9 @@ let test_tuner_beats_or_matches_origin () =
     Stc_core.Tuner.layout_of pl ~cache_kb:16 outcome.Stc_core.Tuner.chosen
   in
   let run l =
-    let view = Stc_fetch.View.create pl.Pipeline.program l pl.Pipeline.test in
+    let view =
+      Stc_fetch.View.create pl.Pipeline.program l (Pipeline.test_source pl)
+    in
     let icache = Stc_cachesim.Icache.create ~size_bytes:16384 () in
     Stc_fetch.Engine.bandwidth
       (Stc_fetch.Engine.run ~icache view)

@@ -34,7 +34,7 @@ let test_ideal_single_window () =
      final ret) *)
   let prog, b0, b1, b2 = tiny () in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record [ b0; b1; b2 ])) in
   let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 16 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 1 r.F.Engine.cycles
@@ -44,7 +44,7 @@ let test_taken_branch_splits_fetch () =
      the first) *)
   let prog, b0, _b1, b2 = tiny () in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record [ b0; b2 ]) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record [ b0; b2 ])) in
   let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 12 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
@@ -65,7 +65,7 @@ let test_branch_limit () =
   Builder.finish_proc b ~pid:p ~entry:ids.(0) ~blocks:ids;
   let prog = Builder.build b in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record (Array.to_list ids)) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record (Array.to_list ids))) in
   let r = F.Engine.run view in
   Alcotest.(check int) "instrs" 6 r.F.Engine.instrs;
   Alcotest.(check int) "cycles" 2 r.F.Engine.cycles
@@ -73,7 +73,7 @@ let test_branch_limit () =
 let test_miss_penalty () =
   let prog, b0, b1, b2 = tiny () in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record [ b0; b1; b2 ]) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record [ b0; b1; b2 ])) in
   let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
   let r = F.Engine.run ~icache view in
   (* one fetch cycle + one 5-cycle compulsory-miss penalty *)
@@ -89,7 +89,7 @@ let test_window_alignment () =
   Builder.finish_proc b ~pid:p ~entry:big ~blocks:[| big |];
   let prog = Builder.build b in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record [ big ]) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record [ big ])) in
   let r = F.Engine.run view in
   (* 40 instrs from address 0: 16 + 16 + 8 = 3 cycles *)
   Alcotest.(check int) "cycles" 3 r.F.Engine.cycles;
@@ -108,7 +108,7 @@ let test_instr_conservation () =
   let pl = Lazy.force fixture in
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
   let expected = F.View.total_instrs view in
   List.iter
     (fun (icache, tc) ->
@@ -131,7 +131,7 @@ let test_penalty_only_adds_cycles () =
   let pl = Lazy.force fixture in
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
   let ideal = F.Engine.run view in
   let icache = Stc_cachesim.Icache.create ~size_bytes:8192 () in
   let real = F.Engine.run ~icache view in
@@ -144,7 +144,7 @@ let test_bigger_cache_fewer_misses () =
   let pl = Lazy.force fixture in
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
   let misses size =
     let icache = Stc_cachesim.Icache.create ~size_bytes:size () in
     (F.Engine.run ~icache view).F.Engine.icache_misses
@@ -156,7 +156,7 @@ let test_trace_cache_improves () =
   let pl = Lazy.force fixture in
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
   let without =
     F.Engine.run
       ~icache:(Stc_cachesim.Icache.create ~size_bytes:16384 ())
@@ -176,7 +176,7 @@ let test_tc_build_trace_deterministic () =
   let pl = Lazy.force fixture in
   let prog = pl.Stc_core.Pipeline.program in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+  let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
   let pos = { F.View.idx = 0; off = 0 } in
   let a = F.Tracecache.build_trace view pos in
   let b = F.Tracecache.build_trace view pos in
@@ -263,7 +263,9 @@ let prop_packed_agrees_with_view =
       let prog, rec_ = trace_of_skeleton skel in
       List.iter
         (fun layout ->
-          let view = F.View.create prog layout rec_ in
+          let view =
+            F.View.create prog layout (Stc_trace.Source.of_recorder rec_)
+          in
           (* both compilation routes must agree with the view *)
           List.iter
             (fun packed ->
@@ -286,7 +288,11 @@ let prop_packed_agrees_with_view =
                 QCheck.Test.fail_report "total_instrs mismatch";
               if F.Packed.taken_branches packed <> F.View.taken_branches view
               then QCheck.Test.fail_report "taken_branches mismatch")
-            [ F.View.pack view; F.Packed.compile prog layout rec_ ])
+            [
+              F.View.pack view;
+              F.Packed.compile prog layout
+                (Stc_trace.Source.of_recorder rec_);
+            ])
         [ L.Original.layout prog; random_layout prog layout_seed ];
       true)
 
@@ -297,7 +303,7 @@ let test_packed_naive_engine_equal () =
   let prog = pl.Stc_core.Pipeline.program in
   List.iter
     (fun layout ->
-      let view = F.View.create prog layout pl.Stc_core.Pipeline.test in
+      let view = F.View.create prog layout (Stc_core.Pipeline.test_source pl) in
       let packed = F.View.pack view in
       let variants =
         [
@@ -352,7 +358,7 @@ let test_engine_run_equals_run_packed () =
   (* the convenience [run view] must be the packed path, byte for byte *)
   let prog, b0, b1, b2 = tiny () in
   let layout = L.Original.layout prog in
-  let view = F.View.create prog layout (record [ b0; b1; b2; b0; b2 ]) in
+  let view = F.View.create prog layout (Stc_trace.Source.of_recorder (record [ b0; b1; b2; b0; b2 ])) in
   let a = F.Engine.run view in
   let b = F.Engine.run_packed (F.View.pack view) in
   Alcotest.(check bool) "equal" true (a = b)

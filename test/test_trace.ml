@@ -83,7 +83,7 @@ let run_workload ~seed =
 
 let test_trace_legal () =
   let program, rec_, _ = run_workload ~seed:1L in
-  match Check.check_all program (fun f -> Recorder.replay rec_ f) with
+  match Check.check_all program (fun f -> Stc_trace.Source.iter (Stc_trace.Source.of_recorder rec_) f) with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
 
@@ -211,7 +211,7 @@ let prop_random_skeleton_walks =
       for _ = 1 to 5 do
         Walker.auto_run w pid
       done;
-      match Check.check_all program (fun f -> Recorder.replay rec_ f) with
+      match Check.check_all program (fun f -> Stc_trace.Source.iter (Stc_trace.Source.of_recorder rec_) f) with
       | Ok () -> true
       | Error e -> QCheck.Test.fail_report e)
 

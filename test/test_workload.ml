@@ -75,7 +75,8 @@ let test_traced_run_legal () =
   in
   Alcotest.(check bool) "trace nonempty" true (Recorder.length recorder > 1000);
   match
-    Check.check_all kernel.Kernel.program (fun f -> Recorder.replay recorder f)
+    Check.check_all kernel.Kernel.program (fun f ->
+        Stc_trace.Source.iter (Stc_trace.Source.of_recorder recorder) f)
   with
   | Ok () -> ()
   | Error e -> Alcotest.fail e
@@ -119,7 +120,8 @@ let test_all_queries_traced_both_dbs () =
   Alcotest.(check int) "all jobs marked" 34
     (List.length (Recorder.marks recorder));
   match
-    Check.check_all kernel.Kernel.program (fun f -> Recorder.replay recorder f)
+    Check.check_all kernel.Kernel.program (fun f ->
+        Stc_trace.Source.iter (Stc_trace.Source.of_recorder recorder) f)
   with
   | Ok () -> ()
   | Error e -> Alcotest.fail e

@@ -33,7 +33,9 @@ let () =
   (* profile the training set *)
   let t0 = Unix.gettimeofday () in
   let p = Stc_profile.Profile.create kernel.Stc_synth.Kernel.program in
-  Stc_trace.Recorder.replay tr (Stc_profile.Profile.sink p);
+  Stc_trace.Source.iter
+    (Stc_trace.Source.of_recorder tr)
+    (Stc_profile.Profile.sink p);
   let t1 = Unix.gettimeofday () in
   let fp = Stc_profile.Footprint.compute p in
   Printf.printf "profile: %.2fs\n%!" (t1 -. t0);

@@ -1,7 +1,7 @@
 (* Golden-regression harness: regenerate the quick-config experiment
    outputs and diff them against committed snapshots.
 
-     golden [--update] [--golden DIR] [--jobs N] [--seed N]
+     golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]
 
    One quick pipeline run (seeded, default 1) produces three artifacts:
 
@@ -17,6 +17,11 @@
    A missing snapshot is a hard error, never a silent pass: regenerate
    with --update and commit the result.
 
+   --stream replays every simulation cell through the bounded segment
+   pipeline (Engine.run_stream) instead of a materialized packed image.
+   The snapshots are shared: streaming is required to be byte-identical,
+   so the same golden/ directory checks both paths.
+
    Exit codes: 0 clean, 1 drift, 2 usage/missing-snapshot error. *)
 
 module E = Stc_core.Experiments
@@ -25,18 +30,23 @@ module Run = Stc_core.Run
 module Obs = Stc_obs
 
 let usage () =
-  prerr_endline "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N]";
+  prerr_endline
+    "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]";
   exit 2
 
 let parse_args () =
   let update = ref false
   and dir = ref "golden"
   and jobs = ref 1
-  and seed = ref 1 in
+  and seed = ref 1
+  and streamed = ref false in
   let rec go = function
     | [] -> ()
     | "--update" :: rest ->
       update := true;
+      go rest
+    | "--stream" :: rest ->
+      streamed := true;
       go rest
     | "--golden" :: d :: rest ->
       dir := d;
@@ -50,7 +60,7 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!update, !dir, !jobs, !seed)
+  (!update, !dir, !jobs, !seed, !streamed)
 
 let write_lines path lines =
   let oc = open_out path in
@@ -95,15 +105,17 @@ let diff_lines ~name golden current =
   go 1 golden current
 
 let () =
-  let update, dir, jobs, seed = parse_args () in
+  let update, dir, jobs, seed, streamed = parse_args () in
   let reg = Obs.Registry.create () in
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_seed seed
     |> Run.with_jobs jobs
   in
   let pl = Pipeline.run ~ctx ~config:Pipeline.quick_config () in
-  let sim_lines = List.map E.row_to_string (E.simulate ~ctx pl) in
-  let abl_lines = List.map E.ablation_row_to_string (E.ablation ~ctx pl) in
+  let sim_lines = List.map E.row_to_string (E.simulate ~ctx ~streamed pl) in
+  let abl_lines =
+    List.map E.ablation_row_to_string (E.ablation ~ctx ~streamed pl)
+  in
   let sim_path = Filename.concat dir "simulate_rows.txt" in
   let abl_path = Filename.concat dir "ablation_rows.txt" in
   let met_path = Filename.concat dir "metrics.jsonl" in
@@ -143,9 +155,10 @@ let () =
     | [] ->
       Printf.printf
         "golden: clean (%d simulate rows, %d ablation rows, %d metric \
-         records, jobs=%d, seed=%d)\n"
+         records, jobs=%d, seed=%d%s)\n"
         (List.length sim_lines) (List.length abl_lines)
         (List.length met_golden) jobs seed
+        (if streamed then ", streamed" else "")
     | msgs ->
       List.iter print_endline msgs;
       Printf.printf "golden: %d drift(s) against %s\n" (List.length msgs) dir;

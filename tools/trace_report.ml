@@ -4,7 +4,9 @@
 
    Reports total wall clock, a table of top-level slices (per-phase wall
    time), pool utilization per domain (share of the pool window each
-   domain spent inside "pool.chunk" slices), the N slowest grid cells
+   domain spent inside "pool.chunk" slices), per-domain engine segment
+   windows ("engine.segment" Complete slices from streamed replays,
+   with the block counts they carry), the N slowest grid cells
    ("cell:..." slices, --top, default 10), and the artifact-store time
    split (store.hit / store.miss / store.write Complete events with
    their byte volumes).
@@ -237,6 +239,47 @@ let pool_utilization slices =
       (fus window) mean (List.length utils);
     Some mean
 
+(* Streamed engine replays emit one "engine.segment" Complete slice per
+   consumed segment window, carrying the blocks consumed as its payload.
+   Summarize them per domain so utilization assertions stay meaningful
+   when cells stream instead of holding a packed image. *)
+let engine_segments slices =
+  let segs = List.filter (fun s -> s.s_name = "engine.segment") slices in
+  if segs <> [] then begin
+    section "engine segments (streamed replay windows)";
+    let tbl =
+      Tbl.create
+        ~headers:
+          [
+            ("domain", Tbl.Left);
+            ("segments", Tbl.Right);
+            ("blocks", Tbl.Right);
+            ("total", Tbl.Right);
+            ("mean", Tbl.Right);
+          ]
+    in
+    List.iter
+      (fun (tid, pairs) ->
+        let n = List.length pairs in
+        let total = List.fold_left (fun acc (d, _) -> acc +. d) 0.0 pairs in
+        let blocks = List.fold_left (fun acc (_, b) -> acc + b) 0 pairs in
+        Tbl.add_row tbl
+          [
+            Printf.sprintf "domain-%d" tid;
+            string_of_int n;
+            string_of_int blocks;
+            fus total;
+            fus (total /. float_of_int n);
+          ])
+      (List.sort compare
+         (group_by (fun s -> s.s_tid) (fun s -> (s.s_dur, s.s_bytes)) segs));
+    print_string (Tbl.render tbl);
+    Printf.printf "%d segment window(s) across %d domain(s)\n\n"
+      (List.length segs)
+      (List.length
+         (List.sort_uniq compare (List.map (fun s -> s.s_tid) segs)))
+  end
+
 let top_cells slices top =
   let cells =
     List.filter (fun s -> String.starts_with ~prefix:"cell:" s.s_name) slices
@@ -344,6 +387,7 @@ let () =
   print_newline ();
   top_level_table slices;
   let mean_util = pool_utilization slices in
+  engine_segments slices;
   top_cells slices top;
   store_split slices;
   match assert_util with
