@@ -109,6 +109,19 @@ let stream_arg =
            byte-identical; only the peak resident trace footprint \
            changes.")
 
+let no_fuse_arg =
+  Arg.(
+    value & flag
+    & info [ "no-fuse" ]
+        ~doc:
+          "Replay each simulation cell with its own engine sweep instead \
+           of the default fused replay (one Engine.Bank sweep per layout, \
+           decoding the packed trace once for every cell that shares \
+           it). Rows, tables, metric exports and store keys are \
+           byte-identical either way; fusing only changes wall-clock \
+           time. This flag keeps the per-cell reference path exercised \
+           for differential comparison.")
+
 let progress_arg =
   Arg.(
     value & flag
@@ -223,8 +236,8 @@ let characterize_cmd =
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
       $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
-let simulate_run quick sf seed frames jobs store exec branch streamed metrics
-    trace progress =
+let simulate_run quick sf seed frames jobs store exec branch streamed no_fuse
+    metrics trace progress =
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
   check_out_path "trace" trace;
@@ -234,7 +247,10 @@ let simulate_run quick sf seed frames jobs store exec branch streamed metrics
   Printf.printf "Simulating the full Table 3 / Table 4 grid (%d jobs)...\n%!"
     ctx.Run.jobs;
   let t0 = Unix.gettimeofday () in
-  let rows = E.simulate ~ctx ~config:(sim_config exec branch) ~streamed pl in
+  let rows =
+    E.simulate ~ctx ~config:(sim_config exec branch) ~streamed
+      ~fused:(not no_fuse) pl
+  in
   Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
     (Unix.gettimeofday () -. t0);
   E.print_table3 rows;
@@ -249,21 +265,22 @@ let simulate_run quick sf seed frames jobs store exec branch streamed metrics
 let simulate_term =
   Term.(
     const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-    $ store_arg $ exec_arg $ branch_arg $ stream_arg $ metrics_arg $ trace_arg
-    $ progress_arg)
+    $ store_arg $ exec_arg $ branch_arg $ stream_arg $ no_fuse_arg
+    $ metrics_arg $ trace_arg $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
 let ablation_cmd =
-  let run quick sf seed frames jobs store streamed metrics trace progress =
+  let run quick sf seed frames jobs store streamed no_fuse metrics trace
+      progress =
     let reg = Obs.Registry.create () in
     check_metrics_path metrics;
     check_out_path "trace" trace;
     let tracer = make_tracer trace in
     let ctx = make_ctx reg progress seed jobs store tracer in
     let pl = setup ~ctx quick sf frames in
-    E.print_ablation (E.ablation ~ctx ~streamed pl);
+    E.print_ablation (E.ablation ~ctx ~streamed ~fused:(not no_fuse) pl);
     report_store reg store;
     finish_metrics reg metrics;
     finish_trace tracer trace
@@ -272,7 +289,8 @@ let ablation_cmd =
     (Cmd.info "ablation" ~doc:"STC threshold and CFA-size sweep.")
     Term.(
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
-      $ store_arg $ stream_arg $ metrics_arg $ trace_arg $ progress_arg)
+      $ store_arg $ stream_arg $ no_fuse_arg $ metrics_arg $ trace_arg
+      $ progress_arg)
 
 let extensions_cmd =
   let run quick sf seed frames jobs store metrics trace progress =

@@ -140,6 +140,24 @@ let access_uncounted t addr =
     if victim_swap t line evicted then Victim_hit else Miss
   end
 
+(* A direct-mapped cache without a victim buffer has one way per set and
+   no replacement or victim decision to make: neither [stamps] nor
+   [clock] can influence any future outcome, so a probe that skips both
+   is observationally identical to [access_uncounted] — same hit/miss
+   sequence, same final tag contents, same statistics. The fused replay
+   bank ({!Stc_fetch.Engine.Bank}) probes many caches per fetch cycle
+   and uses this to keep the common Table 3 configuration cheap. *)
+let plain_direct t = t.assoc = 1 && Array.length t.v_tags = 0
+
+let probe_direct t addr =
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  if Array.unsafe_get t.tags set = line then true
+  else begin
+    Array.unsafe_set t.tags set line;
+    false
+  end
+
 let add_stats t ~accesses ~misses ~victim_hits =
   Counter.add t.accesses accesses;
   Counter.add t.misses misses;

@@ -37,6 +37,22 @@ val add_stats : t -> accesses:int -> misses:int -> victim_hits:int -> unit
 (** Batch-add to the statistics counters; the flush half of the
     {!access_uncounted} protocol. *)
 
+val plain_direct : t -> bool
+(** [true] iff the cache is direct-mapped ([assoc = 1]) with no victim
+    buffer — the precondition of {!probe_direct}. *)
+
+val probe_direct : t -> int -> bool
+(** Specialized {!access_uncounted} for {!plain_direct} caches: [true]
+    on a hit; on a miss the line is installed over the set's single way.
+    With one way per set and no victim buffer there is no replacement
+    choice, so skipping the LRU clock and stamps is observationally
+    identical to {!access_uncounted} (same outcome sequence, same final
+    tags) at a fraction of the cost — this is what the fused replay bank
+    drives for every plain direct-mapped configuration. Statistics are
+    left to the caller, as with {!access_uncounted}. Calling it on a
+    set-associative or victim-backed cache would silently corrupt the
+    replacement state; don't. *)
+
 val line_bytes : t -> int
 
 val size_bytes : t -> int

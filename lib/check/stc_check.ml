@@ -441,6 +441,7 @@ type mismatch = {
   m_oracle : float;
   m_naive : float;
   m_packed : float;
+  m_fused : float;
 }
 
 type engine_report = {
@@ -455,73 +456,115 @@ let outcome_name = function
   | Real_icache.Victim_hit -> "victim-hit"
   | Real_icache.Miss -> "miss"
 
-let rec combine3 a b c =
-  match (a, b, c) with
-  | [], [], [] -> []
-  | (f, va) :: ta, (_, vb) :: tb, (_, vc) :: tc ->
-    (f, va, vb, vc) :: combine3 ta tb tc
-  | _ -> invalid_arg "Stc_check.combine3: field lists differ in length"
+let rec combine4 a b c d =
+  match (a, b, c, d) with
+  | [], [], [], [] -> []
+  | (f, va) :: ta, (_, vb) :: tb, (_, vc) :: tc, (_, vd) :: td ->
+    (f, va, vb, vc, vd) :: combine4 ta tb tc td
+  | _ -> invalid_arg "Stc_check.combine4: field lists differ in length"
+
+let real_icache_of_case case () =
+  if case.kb = 0 then None
+  else
+    Some
+      (Real_icache.create ~assoc:case.assoc ~victim_lines:case.victim_lines
+         ~size_bytes:(case.kb * 1024) ())
+
+let real_tc_of_case case () = if case.tc then Some (Real_tc.create ()) else None
+
+let diff_cases ?config ~layout_name view cases =
+  let cases = Array.of_list cases in
+  let packed = View.pack view in
+  (* one fused bank over the whole case list — mixed direct/victim/2-way
+     geometries, trace caches and the ideal slot replay in a single
+     sweep, exactly how Experiments fuses a grid's cells *)
+  let bank_specs =
+    Array.map
+      (fun case ->
+        Engine.Bank.spec ?config
+          ?icache:(real_icache_of_case case ())
+          ?trace_cache:(real_tc_of_case case ())
+          ())
+      cases
+  in
+  let fused = Engine.Bank.run_packed bank_specs packed in
+  Array.to_list
+    (Array.mapi
+       (fun i case ->
+         (* lockstep shadow: every oracle i-cache access is replayed into
+            a private real cache; the first differing outcome is where
+            the two models' state forked *)
+         let shadow = real_icache_of_case case () in
+         let divergence = ref None in
+         let access_no = ref 0 in
+         let on_access ~addr out =
+           incr access_no;
+           match shadow with
+           | None -> ()
+           | Some c ->
+             let got = Real_icache.access_uncounted c addr in
+             if got <> out && !divergence = None then
+               divergence :=
+                 Some
+                   (Printf.sprintf
+                      "access #%d (addr 0x%x): oracle %s, icache %s"
+                      !access_no addr (outcome_name out) (outcome_name got))
+         in
+         let oracle_icache =
+           if case.kb = 0 then None
+           else
+             Some
+               (Oracle.Icache.create ~assoc:case.assoc
+                  ~victim_lines:case.victim_lines
+                  ~size_bytes:(case.kb * 1024) ())
+         in
+         let oracle_tc =
+           if case.tc then Some (Oracle.Tracecache.create ()) else None
+         in
+         let o =
+           Oracle.fetch ?config ?icache:oracle_icache ?trace_cache:oracle_tc
+             ~on_access view
+         in
+         let n =
+           Engine.run_naive ?config
+             ?icache:(real_icache_of_case case ())
+             ?trace_cache:(real_tc_of_case case ())
+             view
+         in
+         let p =
+           Engine.run_packed ?config
+             ?icache:(real_icache_of_case case ())
+             ?trace_cache:(real_tc_of_case case ())
+             packed
+         in
+         let f = fused.(i) in
+         let er_mismatches =
+           combine4 (Engine.result_fields o) (Engine.result_fields n)
+             (Engine.result_fields p) (Engine.result_fields f)
+           |> List.filter_map (fun (field, vo, vn, vp, vf) ->
+                  if vo = vn && vn = vp && vp = vf then None
+                  else
+                    Some
+                      {
+                        field;
+                        m_oracle = vo;
+                        m_naive = vn;
+                        m_packed = vp;
+                        m_fused = vf;
+                      })
+         in
+         {
+           er_layout = layout_name;
+           er_case = case.case_name;
+           er_mismatches;
+           er_divergence = !divergence;
+         })
+       cases)
 
 let diff_engines ?config ~layout_name view case =
-  let real_icache () =
-    if case.kb = 0 then None
-    else
-      Some
-        (Real_icache.create ~assoc:case.assoc ~victim_lines:case.victim_lines
-           ~size_bytes:(case.kb * 1024) ())
-  in
-  let real_tc () = if case.tc then Some (Real_tc.create ()) else None in
-  (* lockstep shadow: every oracle i-cache access is replayed into a
-     private real cache; the first differing outcome is where the two
-     models' state forked *)
-  let shadow = real_icache () in
-  let divergence = ref None in
-  let access_no = ref 0 in
-  let on_access ~addr out =
-    incr access_no;
-    match shadow with
-    | None -> ()
-    | Some c ->
-      let got = Real_icache.access_uncounted c addr in
-      if got <> out && !divergence = None then
-        divergence :=
-          Some
-            (Printf.sprintf "access #%d (addr 0x%x): oracle %s, icache %s"
-               !access_no addr (outcome_name out) (outcome_name got))
-  in
-  let oracle_icache =
-    if case.kb = 0 then None
-    else
-      Some
-        (Oracle.Icache.create ~assoc:case.assoc
-           ~victim_lines:case.victim_lines ~size_bytes:(case.kb * 1024) ())
-  in
-  let oracle_tc = if case.tc then Some (Oracle.Tracecache.create ()) else None in
-  let o =
-    Oracle.fetch ?config ?icache:oracle_icache ?trace_cache:oracle_tc
-      ~on_access view
-  in
-  let n =
-    Engine.run_naive ?config ?icache:(real_icache ()) ?trace_cache:(real_tc ())
-      view
-  in
-  let p =
-    Engine.run_packed ?config ?icache:(real_icache ())
-      ?trace_cache:(real_tc ()) (View.pack view)
-  in
-  let er_mismatches =
-    combine3 (Engine.result_fields o) (Engine.result_fields n)
-      (Engine.result_fields p)
-    |> List.filter_map (fun (field, vo, vn, vp) ->
-           if vo = vn && vn = vp then None
-           else Some { field; m_oracle = vo; m_naive = vn; m_packed = vp })
-  in
-  {
-    er_layout = layout_name;
-    er_case = case.case_name;
-    er_mismatches;
-    er_divergence = !divergence;
-  }
+  match diff_cases ?config ~layout_name view [ case ] with
+  | [ r ] -> r
+  | _ -> assert false
 
 let diff_icache_stream ?(accesses = 20_000) ~seed ~assoc ~victim_lines
     ~size_bytes () =
@@ -657,8 +700,7 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
     List.concat_map
       (fun (layout_name, view) ->
         List.map
-          (fun case ->
-            let r = diff_engines ~layout_name view case in
+          (fun r ->
             bump c_cases 1;
             bump c_mismatches (List.length r.er_mismatches);
             Run.event ctx ~kind:"check.engine"
@@ -672,7 +714,7 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
                   | Some d -> Json.Str d );
               ];
             r)
-          default_cases)
+          (diff_cases ~layout_name view default_cases))
       views
   in
   (* seeded random-address streams over three geometries *)
@@ -711,7 +753,7 @@ let print_report r =
           (fun v -> Printf.printf "    - %s\n" (Layouts.violation_to_string v))
           vs)
     r.r_layouts;
-  Printf.printf "Engine differential (oracle vs naive vs packed):\n";
+  Printf.printf "Engine differential (oracle vs naive vs packed vs fused):\n";
   List.iter
     (fun e ->
       if e.er_mismatches = [] && e.er_divergence = None then
@@ -720,8 +762,9 @@ let print_report r =
         Printf.printf "  %-5s %-15s FAIL\n" e.er_layout e.er_case;
         List.iter
           (fun m ->
-            Printf.printf "    - %s: oracle %.6f, naive %.6f, packed %.6f\n"
-              m.field m.m_oracle m.m_naive m.m_packed)
+            Printf.printf
+              "    - %s: oracle %.6f, naive %.6f, packed %.6f, fused %.6f\n"
+              m.field m.m_oracle m.m_naive m.m_packed m.m_fused)
           e.er_mismatches;
         match e.er_divergence with
         | Some d -> Printf.printf "    - first divergence: %s\n" d

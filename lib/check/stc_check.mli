@@ -16,7 +16,8 @@
       counters on one side, association lists and recursion on the
       other, so a bug must be implemented twice to go unnoticed;
     - the differential runners — replay the same traces through oracle,
-      {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
+      {!Stc_fetch.Engine.run_naive}, {!Stc_fetch.Engine.run_packed} and
+      one fused {!Stc_fetch.Engine.Bank} sweep over every case at once,
       and compare field by field, with a lockstep shadow i-cache that
       reports the {e first diverging access} rather than just drifted
       totals.
@@ -147,18 +148,33 @@ type mismatch = {
   m_oracle : float;
   m_naive : float;
   m_packed : float;
+  m_fused : float;
 }
 
 type engine_report = {
   er_layout : string;
   er_case : string;
   er_mismatches : mismatch list;
-      (** Fields where oracle, naive and packed disagree (empty = ok). *)
+      (** Fields where oracle, naive, packed and fused disagree
+          (empty = ok). *)
   er_divergence : string option;
       (** First i-cache access where the oracle's outcome differs from
           the real cache's, if any — pinpoints {e where} state first
           forked, not just that totals drifted. *)
 }
+
+val diff_cases :
+  ?config:Stc_fetch.Engine.config ->
+  layout_name:string ->
+  Stc_fetch.View.t ->
+  cache_case list ->
+  engine_report list
+(** Replay the view through {!Oracle.fetch},
+    {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
+    per case (fresh caches each), plus {e one}
+    {!Stc_fetch.Engine.Bank.run_packed} sweep fusing every case's spec
+    — the same mixed-configuration banks Experiments builds — and
+    compare every {!Stc_fetch.Engine.result} field four ways. *)
 
 val diff_engines :
   ?config:Stc_fetch.Engine.config ->
@@ -166,10 +182,7 @@ val diff_engines :
   Stc_fetch.View.t ->
   cache_case ->
   engine_report
-(** Replay the view through {!Oracle.fetch},
-    {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
-    (fresh caches each) and compare every {!Stc_fetch.Engine.result}
-    field. *)
+(** {!diff_cases} of a single case (its fused bank has one slot). *)
 
 val diff_icache_stream :
   ?accesses:int ->
@@ -201,9 +214,10 @@ type report = {
 val run_all : ?ctx:Stc_core.Run.ctx -> Stc_core.Pipeline.t -> report
 (** Build all five layouts from the pipeline's profile (16KB cache, 4KB
     CFA, the simulation grid's thresholds), validate each; run the
-    engine differential on the test trace over the orig and ops views
-    for every {!default_cases} entry; run the seeded i-cache stream
-    differential on three geometries. Of [ctx], [metrics] feeds the
+    four-way engine differential ({!diff_cases}) on the test trace over
+    the orig and ops views, fusing every {!default_cases} entry into one
+    bank per view; run the seeded i-cache stream differential on three
+    geometries. Of [ctx], [metrics] feeds the
     [check.*] counters and events, [seed] seeds the address streams. *)
 
 val ok : report -> bool

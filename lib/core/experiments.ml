@@ -227,7 +227,12 @@ type cell = {
    dropped right after its last cell (peak memory stays a handful of
    layouts, not the whole grid), and mutex-protected so pool domains can
    share it; the compiled arrays themselves are immutable and read-only
-   across domains. *)
+   across domains.
+
+   Only the unfused ([~fused:false], i.e. --no-fuse) reference path needs
+   this refcounted plan: the fused path re-plans cells into per-layout
+   groups, so each group compiles its layout exactly once by
+   construction and drops it when the group's sweep returns. *)
 module Pcache = struct
   type entry = { mutable packed : F.Packed.t option; mutable remaining : int }
 
@@ -303,29 +308,67 @@ let cell_label cell =
     (match cell.c_cfa_kb with Some k -> string_of_int k ^ "k" | None -> "-")
     (variant_name cell.c_variant)
 
-let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
+(* The cache geometry a cell's variant implies.  Fresh instances per
+   call — the engine owns their state for the replay — so a cell (or a
+   fused bank slot) can run on any domain. *)
+let cell_caches cell =
   let c = cell.c_config in
   let cache_kb = cell.c_cache_kb in
+  let icache =
+    match cell.c_variant with
+    | Ideal | Tc_ideal -> None
+    | Direct | Trace_cache ->
+      Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
+    | Two_way ->
+      Some
+        (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
+    | Victim ->
+      Some
+        (Stc_cachesim.Icache.create ~victim_lines:16
+           ~size_bytes:(cache_kb * 1024) ())
+  in
+  let trace_cache =
+    match cell.c_variant with
+    | Trace_cache | Tc_ideal ->
+      Some (F.Tracecache.create ~entries:c.tc_entries ())
+    | Direct | Two_way | Victim | Ideal -> None
+  in
+  (icache, trace_cache)
+
+(* Derive a cell's row from its engine result and emit the per-cell
+   metrics event — the common tail of the unfused and fused paths. *)
+let finish_cell ~metrics cell r =
+  let row =
+    {
+      layout = cell.c_layout.L.Layout.name;
+      cache_kb =
+        (match cell.c_variant with
+        | Ideal | Tc_ideal -> 0
+        | _ -> cell.c_cache_kb);
+      cfa_kb = cell.c_cfa_kb;
+      variant = cell.c_variant;
+      miss_pct = F.Engine.miss_rate_pct r;
+      bandwidth = F.Engine.bandwidth r;
+      instrs_between_taken = r.F.Engine.instrs_between_taken;
+      tc_hit_pct =
+        (if r.F.Engine.tc_lookups = 0 then 0.0
+         else
+           100.0 *. float_of_int r.F.Engine.tc_hits
+           /. float_of_int r.F.Engine.tc_lookups);
+    }
+  in
+  (match metrics with
+  | Some reg ->
+    emit_cell reg ~table:cell.c_table row r
+      ~has_icache:
+        (match cell.c_variant with Ideal | Tc_ideal -> false | _ -> true)
+  | None -> ());
+  row
+
+let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
+  let c = cell.c_config in
   let simulate () =
-    let icache =
-      match cell.c_variant with
-      | Ideal | Tc_ideal -> None
-      | Direct | Trace_cache ->
-        Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
-      | Two_way ->
-        Some
-          (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
-      | Victim ->
-        Some
-          (Stc_cachesim.Icache.create ~victim_lines:16
-             ~size_bytes:(cache_kb * 1024) ())
-    in
-    let trace_cache =
-      match cell.c_variant with
-      | Trace_cache | Tc_ideal ->
-        Some (F.Tracecache.create ~entries:c.tc_entries ())
-      | Direct | Two_way | Victim | Ideal -> None
-    in
+    let icache, trace_cache = cell_caches cell in
     let ctx =
       let c0 = Run.default in
       let c0 =
@@ -372,29 +415,7 @@ let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
      refcounts were planned per cell, so every cell must tick one off for
      a partially-warm grid to still drop compiled images promptly. *)
   Pcache.release pcache cell.c_layout;
-  let row =
-    {
-      layout = cell.c_layout.L.Layout.name;
-      cache_kb = (match cell.c_variant with Ideal | Tc_ideal -> 0 | _ -> cache_kb);
-      cfa_kb = cell.c_cfa_kb;
-      variant = cell.c_variant;
-      miss_pct = F.Engine.miss_rate_pct r;
-      bandwidth = F.Engine.bandwidth r;
-      instrs_between_taken = r.F.Engine.instrs_between_taken;
-      tc_hit_pct =
-        (if r.F.Engine.tc_lookups = 0 then 0.0
-         else
-           100.0 *. float_of_int r.F.Engine.tc_hits
-           /. float_of_int r.F.Engine.tc_lookups);
-    }
-  in
-  (match metrics with
-  | Some reg ->
-    emit_cell reg ~table:cell.c_table row r
-      ~has_icache:
-        (match cell.c_variant with Ideal | Tc_ideal -> false | _ -> true)
-  | None -> ());
-  row
+  finish_cell ~metrics cell r
 
 let exec_cell ~metrics ~trace ~pcache ~store cell =
   match trace with
@@ -403,16 +424,152 @@ let exec_cell ~metrics ~trace ~pcache ~store cell =
     Stc_obs.Trace.span tr (cell_label cell) (fun () ->
         exec_cell_inner ~metrics ~trace ~pcache ~store cell)
 
-(* Run planned cells serially ([jobs <= 1]: the exact pre-pool code path,
-   writing straight into the caller's registry) or on a domain pool.  In
-   the parallel path each cell records into its own registry shard; shards
-   are merged into the main registry in input order after the join, so the
-   exported counters and [*.cell] event sequence are identical at any job
-   count. *)
-let exec_cells ~(ctx : Run.ctx) ~label (pl : Pipeline.t) cells =
+(* ---------- fused execution ----------
+
+   The default path: the planned cells are re-grouped by layout (physical
+   identity, first-appearance order) and each group's cold cells replay
+   as one {!F.Engine.Bank} sweep — the layout's packed trace is compiled
+   (or, streamed, pulled through a single sliding window) once per group
+   instead of once per cell.  Everything a cell observes is unchanged:
+   its store key, its warm-hit short-circuit (a store-warm cell is
+   dropped from the bank before the sweep), its one {!Progress} tick, and
+   its registry writes — each cell flushes into its own shard, and shards
+   merge into the main registry in cell {e input} order, so rows, metric
+   exports and golden snapshots are byte-identical to [--no-fuse] at any
+   [--jobs]. *)
+
+type fgroup = { g_layout : L.Layout.t; g_cells : int array (* input indices *) }
+
+let fused_groups cells =
+  let acc = ref [] in
+  Array.iteri
+    (fun i c ->
+      match List.assq_opt c.c_layout !acc with
+      | Some members -> members := i :: !members
+      | None -> acc := !acc @ [ (c.c_layout, ref [ i ]) ])
+    cells;
+  Array.of_list
+    (List.map
+       (fun (l, members) ->
+         { g_layout = l; g_cells = Array.of_list (List.rev !members) })
+       !acc)
+
+let fgroup_label cells g =
+  Printf.sprintf "fused:%s %s (%d cells)"
+    cells.(g.g_cells.(0)).c_table g.g_layout.L.Layout.name
+    (Array.length g.g_cells)
+
+(* Execute one fused group.  Per member cell: its own registry shard
+   (under metrics), its own store handle opened against that shard, and
+   the exact unfused event order — store probe, engine publish, store
+   save, cell row event — so the merged shards reproduce the unfused
+   registry exactly.  Returns [(input index, row, shard)] per cell. *)
+let exec_fgroup_inner ~metrics ~trace ~store (pl : Pipeline.t) cells ~tick g =
+  let idxs = g.g_cells in
+  let m = Array.length idxs in
+  let shards =
+    Array.init m (fun _ ->
+        Option.map (fun _ -> Stc_obs.Registry.create ()) metrics)
+  in
+  let handles =
+    match store with
+    | None -> Array.make m None
+    | Some (dir, _, _) ->
+      Array.init m (fun i -> Some (Stc_store.open_ ?metrics:shards.(i) ?trace dir))
+  in
+  let key_of i =
+    match store with
+    | Some (_, prog_fp, trace_fp) ->
+      cell_key ~prog_fp ~trace_fp cells.(idxs.(i))
+    | None -> assert false
+  in
+  let results = Array.make m None in
+  Array.iteri
+    (fun i handle ->
+      match handle with
+      | None -> ()
+      | Some st -> (
+        match Stc_store.Result.load st ~key:(key_of i) with
+        | Some r ->
+          (match shards.(i) with
+          | Some reg -> F.Engine.publish reg r
+          | None -> ());
+          results.(i) <- Some r
+        | None -> ()))
+    handles;
+  let cold = ref [] in
+  for i = m - 1 downto 0 do
+    if Option.is_none results.(i) then cold := i :: !cold
+  done;
+  let cold = Array.of_list !cold in
+  if Array.length cold > 0 then begin
+    let specs =
+      Array.map
+        (fun i ->
+          let cell = cells.(idxs.(i)) in
+          let icache, trace_cache = cell_caches cell in
+          F.Engine.Bank.spec
+            ~config:(engine_config cell.c_config)
+            ?icache ?trace_cache ())
+        cold
+    in
+    (* Trace-only context: each slot's counters go to its shard below,
+       in the same per-cell order the unfused path writes them. *)
+    let bctx =
+      match trace with
+      | Some tr -> Run.with_trace tr Run.default
+      | None -> Run.default
+    in
+    let rs =
+      if cells.(idxs.(cold.(0))).c_streamed then begin
+        let tables = F.Packed.tables pl.Pipeline.program g.g_layout in
+        let stream = F.Stream.create tables (Pipeline.test_source pl) in
+        F.Engine.Bank.run_stream ~ctx:bctx specs stream
+      end
+      else
+        let packed =
+          F.Packed.compile pl.Pipeline.program g.g_layout
+            (Pipeline.test_source pl)
+        in
+        F.Engine.Bank.run_packed ~ctx:bctx specs packed
+    in
+    Array.iteri
+      (fun j i ->
+        let r = rs.(j) in
+        (match shards.(i) with
+        | Some reg -> F.Engine.publish reg r
+        | None -> ());
+        (match handles.(i) with
+        | Some st -> Stc_store.Result.save st ~key:(key_of i) r
+        | None -> ());
+        results.(i) <- Some r)
+      cold
+  end;
+  Array.init m (fun i ->
+      let cell = cells.(idxs.(i)) in
+      let r = Option.get results.(i) in
+      let row = finish_cell ~metrics:shards.(i) cell r in
+      tick ();
+      (idxs.(i), row, shards.(i)))
+
+let exec_fgroup ~metrics ~trace ~store pl cells ~tick g =
+  match trace with
+  | None -> exec_fgroup_inner ~metrics ~trace ~store pl cells ~tick g
+  | Some tr ->
+    Stc_obs.Trace.span tr (fgroup_label cells g) (fun () ->
+        exec_fgroup_inner ~metrics ~trace ~store pl cells ~tick g)
+
+(* Run planned cells.  [~fused:true] (the default) re-plans them into
+   per-layout fused groups — one {!F.Engine.Bank} sweep per group — and
+   runs groups serially or self-scheduled on a domain pool; every cell
+   still records into its own registry shard and shards merge in input
+   order, so outputs are byte-identical to the unfused path at any job
+   count.  [~fused:false] is the reference path: one engine replay per
+   cell ([jobs <= 1]: the exact pre-pool code path, writing straight into
+   the caller's registry; otherwise per-cell shards on the pool). *)
+let exec_cells ~(ctx : Run.ctx) ~label ~fused (pl : Pipeline.t) cells =
   let cells = Array.of_list cells in
   let n = Array.length cells in
-  let pcache = Pcache.of_cells pl cells in
   (* Fingerprint the shared inputs once per grid, not once per cell: the
      test-trace hash walks millions of entries. *)
   let store =
@@ -429,55 +586,118 @@ let exec_cells ~(ctx : Run.ctx) ~label (pl : Pipeline.t) cells =
   in
   let trace = ctx.Run.trace in
   let rows =
-    if ctx.Run.jobs <= 1 then
-      Array.map
-        (fun c ->
-          let r = exec_cell ~metrics:ctx.Run.metrics ~trace ~pcache ~store c in
-          step ();
-          r)
-        cells
-    else begin
-      (* Workers tick [completed] as cells finish; only the calling
-         domain — which participates in the pool — drains the tick count
-         into the reporter, so the (single-domain) Progress state is
-         never shared and the bar advances during the run instead of
-         jumping 0 -> 100% after the join.  The post-join drain accounts
-         for cells finished by other workers after the caller's last
-         one. *)
-      let completed = Atomic.make 0 in
-      let drained = ref 0 in
-      let caller = Domain.self () in
-      let drain () =
-        let d = Atomic.get completed in
-        while !drained < d do
-          incr drained;
-          step ()
-        done
-      in
+    if fused then begin
+      let metrics = ctx.Run.metrics in
+      let groups = fused_groups cells in
       let out =
-        Stc_par.Pool.with_pool ~domains:ctx.Run.jobs ?trace @@ fun pool ->
-        Stc_par.Pool.map ~chunk:1 pool
-          (fun c ->
-            let shard =
-              Option.map (fun _ -> Stc_obs.Registry.create ()) ctx.Run.metrics
-            in
-            let r = (exec_cell ~metrics:shard ~trace ~pcache ~store c, shard) in
+        if ctx.Run.jobs <= 1 then
+          Array.map
+            (exec_fgroup ~metrics ~trace ~store pl cells ~tick:step)
+            groups
+        else begin
+          (* Same live-progress scheme as the unfused pool path, ticking
+             once per cell as its group finalizes it. *)
+          let completed = Atomic.make 0 in
+          let drained = ref 0 in
+          let caller = Domain.self () in
+          let drain () =
+            let d = Atomic.get completed in
+            while !drained < d do
+              incr drained;
+              step ()
+            done
+          in
+          let tick () =
             Atomic.incr completed;
-            if Domain.self () = caller then drain ();
-            r)
-          cells
+            if Domain.self () = caller then drain ()
+          in
+          let out =
+            Stc_par.Pool.with_pool ~domains:ctx.Run.jobs ?trace @@ fun pool ->
+            Stc_par.Pool.map ~chunk:1 pool
+              (exec_fgroup ~metrics ~trace ~store pl cells ~tick)
+              groups
+          in
+          drain ();
+          out
+        end
       in
-      (match ctx.Run.metrics with
+      (* Scatter rows back to input positions; merge shards in input
+         order so exports match the unfused path byte for byte. *)
+      let rows = Array.make n None in
+      let shard_at = Array.make n None in
+      Array.iter
+        (Array.iter (fun (ix, row, shard) ->
+             rows.(ix) <- Some row;
+             shard_at.(ix) <- shard))
+        out;
+      (match metrics with
       | Some main ->
         Array.iter
-          (fun (_, shard) ->
-            match shard with
+          (function
             | Some s -> Stc_obs.Registry.merge ~into:main s
             | None -> ())
-          out
+          shard_at
       | None -> ());
-      drain ();
-      Array.map fst out
+      Array.map (function Some r -> r | None -> assert false) rows
+    end
+    else begin
+      let pcache = Pcache.of_cells pl cells in
+      if ctx.Run.jobs <= 1 then
+        Array.map
+          (fun c ->
+            let r =
+              exec_cell ~metrics:ctx.Run.metrics ~trace ~pcache ~store c
+            in
+            step ();
+            r)
+          cells
+      else begin
+        (* Workers tick [completed] as cells finish; only the calling
+           domain — which participates in the pool — drains the tick count
+           into the reporter, so the (single-domain) Progress state is
+           never shared and the bar advances during the run instead of
+           jumping 0 -> 100% after the join.  The post-join drain accounts
+           for cells finished by other workers after the caller's last
+           one. *)
+        let completed = Atomic.make 0 in
+        let drained = ref 0 in
+        let caller = Domain.self () in
+        let drain () =
+          let d = Atomic.get completed in
+          while !drained < d do
+            incr drained;
+            step ()
+          done
+        in
+        let out =
+          Stc_par.Pool.with_pool ~domains:ctx.Run.jobs ?trace @@ fun pool ->
+          Stc_par.Pool.map ~chunk:1 pool
+            (fun c ->
+              let shard =
+                Option.map
+                  (fun _ -> Stc_obs.Registry.create ())
+                  ctx.Run.metrics
+              in
+              let r =
+                (exec_cell ~metrics:shard ~trace ~pcache ~store c, shard)
+              in
+              Atomic.incr completed;
+              if Domain.self () = caller then drain ();
+              r)
+            cells
+        in
+        (match ctx.Run.metrics with
+        | Some main ->
+          Array.iter
+            (fun (_, shard) ->
+              match shard with
+              | Some s -> Stc_obs.Registry.merge ~into:main s
+              | None -> ())
+            out
+        | None -> ());
+        drain ();
+        Array.map fst out
+      end
     end
   in
   (match reporter with Some p -> Stc_obs.Progress.finish p | None -> ());
@@ -587,9 +807,10 @@ let plan_simulate ~ctx ~streamed config (pl : Pipeline.t) =
   List.rev !cells
 
 let simulate ?(ctx = Run.default) ?(config = default_sim_config)
-    ?(streamed = false) pl =
+    ?(streamed = false) ?(fused = true) pl =
   Run.span ctx "simulate-grid" @@ fun () ->
-  exec_cells ~ctx ~label:"simulate" pl (plan_simulate ~ctx ~streamed config pl)
+  exec_cells ~ctx ~label:"simulate" ~fused pl
+    (plan_simulate ~ctx ~streamed config pl)
 
 (* ---------- table rendering ---------- *)
 
@@ -785,8 +1006,8 @@ type ablation_row = {
   a_bandwidth : float;
 }
 
-let ablation_gen ~ctx ?(streamed = false) ~cache_kb ~exec_thresholds
-    ~branch_thresholds ~cfa_kbs (pl : Pipeline.t) =
+let ablation_gen ~ctx ?(streamed = false) ?(fused = true) ~cache_kb
+    ~exec_thresholds ~branch_thresholds ~cfa_kbs (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
   let cached_layout = layout_cache ~ctx pl in
   (* serial prefix: one ops layout per sweep point *)
@@ -837,7 +1058,7 @@ let ablation_gen ~ctx ?(streamed = false) ~cache_kb ~exec_thresholds
             cfa_kbs)
         branch_thresholds)
     exec_thresholds;
-  let rows = exec_cells ~ctx ~label:"ablation" pl (List.rev !cells) in
+  let rows = exec_cells ~ctx ~label:"ablation" ~fused pl (List.rev !cells) in
   List.map2
     (fun (a_exec, a_branch, a_cfa_kb) (r : row) ->
       {
@@ -849,12 +1070,12 @@ let ablation_gen ~ctx ?(streamed = false) ~cache_kb ~exec_thresholds
       })
     (List.rev !metas) rows
 
-let ablation ?(ctx = Run.default) ?(streamed = false) ?(cache_kb = 32)
-    ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
+let ablation ?(ctx = Run.default) ?(streamed = false) ?(fused = true)
+    ?(cache_kb = 32) ?(exec_thresholds = [ 1; 10; 50; 200; 1000 ])
     ?(branch_thresholds = [ 0.1; 0.3; 0.5 ]) ?(cfa_kbs = [ 4; 8; 16 ])
     (pl : Pipeline.t) =
-  ablation_gen ~ctx ~streamed ~cache_kb ~exec_thresholds ~branch_thresholds
-    ~cfa_kbs pl
+  ablation_gen ~ctx ~streamed ~fused ~cache_kb ~exec_thresholds
+    ~branch_thresholds ~cfa_kbs pl
 
 let ablation_row_to_string r =
   Printf.sprintf "exec=%d branch=%.2f cfa=%d miss=%.6f bw=%.6f" r.a_exec

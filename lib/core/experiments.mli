@@ -73,11 +73,25 @@ val row_to_string : row -> string
     golden-regression snapshot format of [tools/golden]. *)
 
 val simulate :
-  ?ctx:Run.ctx -> ?config:sim_config -> ?streamed:bool -> Pipeline.t -> row list
+  ?ctx:Run.ctx ->
+  ?config:sim_config ->
+  ?streamed:bool ->
+  ?fused:bool ->
+  Pipeline.t ->
+  row list
 (** Run every configuration of Tables 3 and 4 once over the Test trace
     (each row is one trace-driven simulation). Layout construction is a
     serial prefix; the cells then run on [ctx.jobs] domains ([1] =
     in-process serial, the default).
+
+    By default ([~fused:true]) cells sharing a layout replay as one
+    {!Stc_fetch.Engine.Bank} sweep over that layout's trace — the packed
+    image is decoded once per {e layout} instead of once per cell — and
+    a domain pool self-schedules whole fused groups.  Rows, metric
+    exports, store keys, cached-hit short-circuiting (a store-warm cell
+    drops out of its group's sweep) and per-cell progress ticks are
+    byte-identical to [~fused:false], the per-cell reference path kept
+    for differential checking (--no-fuse on the CLI).
 
     With [~streamed:true] each cell replays the Test trace through a
     bounded segment pipeline ({!Stc_trace.Source} →
@@ -121,6 +135,7 @@ type ablation_row = {
 val ablation :
   ?ctx:Run.ctx ->
   ?streamed:bool ->
+  ?fused:bool ->
   ?cache_kb:int ->
   ?exec_thresholds:int list ->
   ?branch_thresholds:float list ->
@@ -130,8 +145,10 @@ val ablation :
 (** Sweep the STC parameters (ops seeds) at one cache size. Layout
     construction is a serial prefix; sweep points run on [ctx.jobs]
     domains with the same determinism guarantee as {!simulate}.
-    [~streamed:true] replays each point through the segment pipeline,
-    exactly as in {!simulate}. With
+    [~streamed:true] replays each point through the segment pipeline and
+    [~fused:false] opts out of fused replay, exactly as in {!simulate}.
+    (Every ablation point builds its own ops layout, so fused groups are
+    singletons here — fusing changes scheduling, never results.) With
     [ctx.metrics], each sweep point emits one [ablation.cell] event.
     [ctx.store] caches the swept layouts and per-point engine results
     exactly as in {!simulate}. *)

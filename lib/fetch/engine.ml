@@ -388,6 +388,475 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
   (match metrics with Some reg -> publish reg r | None -> ());
   r
 
+(* Fused replay: one sweep over the trace drives a bank of independent
+   per-config engine states, so N cells over the same layout decode and
+   pull each packed word once instead of N times.
+
+   The key structural fact (asserted bit-identical by Stc_check, the
+   QCheck fused properties and the golden harness): without direction
+   prediction, SEQ.3 cycle boundaries depend only on the block stream,
+   [line_bytes], [max_branches] and the trace-cache contents — never on
+   i-cache outcomes, which contribute penalties but cannot change what
+   the cycle fetches. And two empty trace caches of equal geometry
+   evolve identical contents over the same cycle sequence. So slots
+   sharing (line_bytes, max_branches, trace-cache geometry) form a
+   *cohort* advancing one shared walk; per slot, each sequential cycle
+   costs only the two i-cache probes plus penalty accrual, and the
+   cohort's lead trace cache stands in for every member's (their
+   statistics are batched in cohort locals and flushed to each member,
+   so counter values match a solo replay; member trace-cache *contents*
+   are not materialized — nothing observes them).
+
+   Slots with prediction still join a cohort (prediction adds redirect
+   penalties per slot without touching the walk). Cohorts advance
+   round-robin over a shared sliding window, each bounded to at most
+   [stride_words] past the laggard, so the words being re-walked stay
+   cache-resident even over a fully materialized image; the window
+   compacts below the minimum cohort position, keeping streamed
+   residency O(largest segment + lookahead) exactly as in
+   [run_segments]. Every cycle step is a verbatim transcription of the
+   cycle body above — same arithmetic, same stop conditions — which is
+   what makes per-slot results bit-identical to [run_packed]. *)
+module Bank = struct
+  type spec = {
+    config : Config.t;
+    icache : Icache.t option;
+    trace_cache : Tracecache.t option;
+    prediction : prediction option;
+  }
+
+  let spec ?(config = Config.default) ?icache ?trace_cache ?prediction () =
+    { config; icache; trace_cache; prediction }
+
+  (* the i-cache probe strategy is picked once per slot *)
+  type probe = No_cache | Direct of Icache.t | Generic of Icache.t
+
+  type slot = {
+    sp : spec;
+    ix : int; (* input index, for result placement *)
+    probe : probe;
+    penalty : int;
+    mutable s_penalties : int;
+    mutable s_acc : int;
+    mutable s_miss : int;
+    mutable s_vhit : int;
+  }
+
+  (* slots whose cycle structure is identical share one walk *)
+  type cohort = {
+    line : int;
+    cmax_branches : int;
+    tc : Tracecache.t option; (* the lead: drives lookups and fills *)
+    members : slot array;
+    actives : slot array; (* members with an i-cache to probe *)
+    preds : slot array; (* members with direction prediction *)
+    need : int;
+    mutable pos : int; (* global block index *)
+    mutable coff : int; (* intra-block offset *)
+    mutable ccycles : int;
+    mutable cseq : int;
+    mutable ctc : int;
+    mutable cinstrs : int;
+    mutable ccond : int;
+    mutable clookups : int;
+    mutable chits : int;
+  }
+
+  let default_stride_words = 16384
+
+  let run_segments ?ctx ?(stride_words = default_stride_words) ?resident_hwm
+      ~name specs pull =
+    let n = Array.length specs in
+    if n = 0 then [||]
+    else
+      traced ctx name @@ fun () ->
+      let metrics = Option.bind ctx (fun c -> c.Stc_obs.Run.metrics) in
+      let tracer = Option.bind ctx (fun c -> c.Stc_obs.Run.trace) in
+      let fused_id =
+        match tracer with
+        | Some tr -> Stc_obs.Trace.intern tr "engine.fused"
+        | None -> 0
+      in
+      let t0 =
+        match tracer with Some tr -> Stc_obs.Trace.now tr | None -> 0.0
+      in
+      let instr_bytes = Stc_cfg.Block.instr_bytes in
+      let stride = max 1 stride_words in
+      let slots =
+        Array.mapi
+          (fun ix sp ->
+            let probe =
+              match sp.icache with
+              | None -> No_cache
+              | Some c when Icache.plain_direct c -> Direct c
+              | Some c -> Generic c
+            in
+            {
+              sp;
+              ix;
+              probe;
+              penalty = sp.config.miss_penalty;
+              s_penalties = 0;
+              s_acc = 0;
+              s_miss = 0;
+              s_vhit = 0;
+            })
+          specs
+      in
+      let cohorts =
+        let key s =
+          ( s.sp.config.line_bytes,
+            s.sp.config.max_branches,
+            Option.map Tracecache.geometry s.sp.trace_cache )
+        in
+        let acc = ref [] in
+        (* first-appearance order, so walks are deterministic *)
+        Array.iter
+          (fun s ->
+            let k = key s in
+            match List.assoc_opt k !acc with
+            | Some r -> r := s :: !r
+            | None -> acc := !acc @ [ (k, ref [ s ]) ])
+          slots;
+        Array.of_list
+          (List.map
+             (fun ((line, mb, _), r) ->
+               let members = Array.of_list (List.rev !r) in
+               let tc = members.(0).sp.trace_cache in
+               let actives =
+                 Array.of_list
+                   (List.filter
+                      (fun s ->
+                        match s.probe with No_cache -> false | _ -> true)
+                      (Array.to_list members))
+               in
+               let preds =
+                 Array.of_list
+                   (List.filter
+                      (fun s -> Option.is_some s.sp.prediction)
+                      (Array.to_list members))
+               in
+               let tc_width =
+                 match tc with Some tc -> Tracecache.width tc | None -> 0
+               in
+               {
+                 line;
+                 cmax_branches = mb;
+                 tc;
+                 members;
+                 actives;
+                 preds;
+                 need = max tc_width (2 * line / instr_bytes) + 2;
+                 pos = 0;
+                 coff = 0;
+                 ccycles = 0;
+                 cseq = 0;
+                 ctc = 0;
+                 cinstrs = 0;
+                 ccond = 0;
+                 clookups = 0;
+                 chits = 0;
+               })
+             !acc)
+      in
+      let gneed = Array.fold_left (fun m h -> max m h.need) 0 cohorts in
+      (* shared sliding buffer, as in [run_segments]: [dropped] counts
+         words retired below every cohort's position *)
+      let buf = ref [||] and avail = ref 0 in
+      let owned = ref false and eos = ref false in
+      let dropped = ref 0 in
+      let bview =
+        ref
+          (Packed.of_raw ~words:[||] ~len:0 ~total_instrs:0 ~taken_branches:0)
+      in
+      let sum_instrs = ref 0 and sum_taken = ref 0 in
+      let hwm = ref 0 in
+      let min_pos () =
+        Array.fold_left (fun m h -> if h.pos < m then h.pos else m) max_int
+          cohorts
+      in
+      let append p =
+        sum_instrs := !sum_instrs + Packed.total_instrs p;
+        sum_taken := !sum_taken + Packed.taken_branches p;
+        let plen = Packed.length p in
+        let keep = min_pos () - !dropped in
+        if (not !owned) && !avail - keep = 0 then begin
+          (* nothing live: borrow the segment's own array, no copy *)
+          dropped := !dropped + !avail;
+          buf := Packed.raw p;
+          avail := plen;
+          bview := p
+        end
+        else begin
+          (if not !owned then begin
+             let live = !avail - keep in
+             let nb = Array.make (max (live + plen) (gneed + plen)) 0 in
+             Array.blit !buf keep nb 0 live;
+             dropped := !dropped + keep;
+             buf := nb;
+             owned := true;
+             avail := live
+           end
+           else begin
+             if keep > 0 then begin
+               Array.blit !buf keep !buf 0 (!avail - keep);
+               dropped := !dropped + keep;
+               avail := !avail - keep
+             end;
+             if !avail + plen > Array.length !buf then begin
+               let nb = Array.make (max (!avail + plen) (gneed + plen)) 0 in
+               Array.blit !buf 0 nb 0 !avail;
+               buf := nb
+             end
+           end);
+          Array.blit (Packed.raw p) 0 !buf !avail plen;
+          avail := !avail + plen;
+          bview :=
+            Packed.of_raw ~words:!buf ~len:!avail ~total_instrs:0
+              ~taken_branches:0
+        end;
+        if Array.length !buf > !hwm then hwm := Array.length !buf
+      in
+      let refill () =
+        match pull () with None -> eos := true | Some p -> append p
+      in
+      let probe_slot s a1 a2 =
+        match s.probe with
+        | No_cache -> ()
+        | Direct c ->
+          s.s_acc <- s.s_acc + 2;
+          let h1 = Icache.probe_direct c a1 in
+          let h2 = Icache.probe_direct c a2 in
+          if not (h1 && h2) then begin
+            s.s_miss <- s.s_miss + (if h1 then 0 else 1)
+                        + (if h2 then 0 else 1);
+            s.s_penalties <- s.s_penalties + s.penalty
+          end
+        | Generic c ->
+          s.s_acc <- s.s_acc + 2;
+          let probe a =
+            match Icache.access_uncounted c a with
+            | Icache.Hit -> true
+            | Icache.Victim_hit ->
+              s.s_vhit <- s.s_vhit + 1;
+              true
+            | Icache.Miss ->
+              s.s_miss <- s.s_miss + 1;
+              false
+          in
+          let h1 = probe a1 in
+          let h2 = probe a2 in
+          if not (h1 && h2) then s.s_penalties <- s.s_penalties + s.penalty
+      in
+      (* per conditional branch (callers test [w_cond] first, so the
+         common all-sequential block costs no call): count it once for
+         the cohort, then charge each predicting member its own
+         redirects *)
+      let cond_block h w =
+        h.ccond <- h.ccond + 1;
+        let preds = h.preds in
+        for i = 0 to Array.length preds - 1 do
+          let s = Array.unsafe_get preds i in
+          match s.sp.prediction with
+          | Some { pred; redirect_penalty } ->
+            let pc = Packed.w_addr w + ((Packed.w_size w - 1) * 4) in
+            if
+              not
+                (Predictor.predict_and_update pred ~pc
+                   ~taken:(Packed.w_taken w))
+            then s.s_penalties <- s.s_penalties + redirect_penalty
+          | None -> ()
+        done
+      in
+      (* one fetch cycle for cohort [h] — a verbatim transcription of the
+         [run_segments] cycle body over the shared buffer *)
+      let step_cohort h =
+        let words = !buf in
+        let len = !avail in
+        let packed = !bview in
+        let start_idx = h.pos - !dropped and start_off = h.coff in
+        let tc_hit =
+          match h.tc with
+          | None -> None
+          | Some tc ->
+            h.clookups <- h.clookups + 1;
+            let r =
+              Tracecache.lookup_uncounted tc packed ~idx:start_idx
+                ~off:start_off
+            in
+            (match r with Some _ -> h.chits <- h.chits + 1 | None -> ());
+            r
+        in
+        match tc_hit with
+        | Some info when info.Tracecache.n_instrs > 0 ->
+          h.ccycles <- h.ccycles + 1;
+          h.ctc <- h.ctc + 1;
+          h.cinstrs <- h.cinstrs + info.Tracecache.n_instrs;
+          let stop = info.Tracecache.end_pos.View.idx in
+          for i = start_idx to stop - 1 do
+            let w = Array.unsafe_get words i in
+            if Packed.w_cond w then cond_block h w
+          done;
+          h.pos <- !dropped + stop;
+          h.coff <- info.Tracecache.end_pos.View.off
+        | Some _ | None ->
+          h.ccycles <- h.ccycles + 1;
+          h.cseq <- h.cseq + 1;
+          let a =
+            Packed.w_addr (Array.unsafe_get words start_idx)
+            + (start_off * instr_bytes)
+          in
+          let line_no = a / h.line in
+          let a1 = line_no * h.line and a2 = (line_no + 1) * h.line in
+          let actives = h.actives in
+          for i = 0 to Array.length actives - 1 do
+            probe_slot (Array.unsafe_get actives i) a1 a2
+          done;
+          let window_end = (line_no + 2) * h.line in
+          let idx = ref start_idx and off = ref start_off in
+          let branches = ref 0 in
+          let stop = ref false in
+          while not !stop do
+            let w = Array.unsafe_get words !idx in
+            let size = Packed.w_size w in
+            let cur_addr = Packed.w_addr w + (!off * instr_bytes) in
+            let space = (window_end - cur_addr) / instr_bytes in
+            let remaining = size - !off in
+            let take = if remaining <= space then remaining else space in
+            h.cinstrs <- h.cinstrs + take;
+            if take < remaining then begin
+              off := !off + take;
+              stop := true
+            end
+            else begin
+              let was_branch = Packed.w_branch w in
+              let taken = Packed.w_taken w in
+              if was_branch then incr branches;
+              if Packed.w_cond w then cond_block h w;
+              incr idx;
+              off := 0;
+              if
+                taken
+                || (was_branch && !branches >= h.cmax_branches)
+                || !idx >= len
+              then stop := true
+              else if
+                Packed.w_addr (Array.unsafe_get words !idx) >= window_end
+              then stop := true
+            end
+          done;
+          (match h.tc with
+          | Some tc ->
+            Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
+          | None -> ());
+          h.pos <- !dropped + !idx;
+          h.coff <- !off
+      in
+      let finished () =
+        Array.for_all (fun h -> h.pos - !dropped >= !avail) cohorts
+      in
+      while (not !eos) || not (finished ()) do
+        let mn_lp = min_pos () - !dropped in
+        if (not !eos) && !avail - mn_lp < gneed then refill ()
+        else begin
+          (* one round: every cohort advances to at most [stride] words
+             past the laggard (or as far as its lookahead allows) *)
+          let limit = min !avail (mn_lp + stride) in
+          Array.iter
+            (fun h ->
+              let hneed = h.need in
+              let cont = ref true in
+              while !cont do
+                let lp = h.pos - !dropped in
+                if lp >= limit || ((not !eos) && !avail - lp < hneed) then
+                  cont := false
+                else step_cohort h
+              done)
+            cohorts
+        end
+      done;
+      (match resident_hwm with Some r -> r := !hwm | None -> ());
+      let out = Array.make n None in
+      Array.iter
+        (fun h ->
+          Array.iter
+            (fun s ->
+              (* flush the batched statistics into each member's caches,
+                 exactly where a solo replay would leave them *)
+              (match s.sp.icache with
+              | Some c ->
+                Icache.add_stats c ~accesses:s.s_acc ~misses:s.s_miss
+                  ~victim_hits:s.s_vhit
+              | None -> ());
+              (match s.sp.trace_cache with
+              | Some tc ->
+                Tracecache.add_stats tc ~lookups:h.clookups ~hits:h.chits
+              | None -> ());
+              let icache_accesses, icache_misses, icache_victim_hits =
+                match s.sp.icache with
+                | None -> (0, 0, 0)
+                | Some c ->
+                  let st = Icache.stats c in
+                  (st.Icache.s_accesses, st.Icache.s_misses,
+                   st.Icache.s_victim_hits)
+              in
+              let r =
+                {
+                  instrs = h.cinstrs;
+                  cycles = h.ccycles + s.s_penalties;
+                  fetch_cycles = h.ccycles;
+                  seq_cycles = h.cseq;
+                  tc_cycles = h.ctc;
+                  icache_accesses;
+                  icache_misses;
+                  icache_victim_hits;
+                  tc_lookups =
+                    (match s.sp.trace_cache with
+                    | None -> 0
+                    | Some tc -> Tracecache.lookups tc);
+                  tc_hits =
+                    (match s.sp.trace_cache with
+                    | None -> 0
+                    | Some tc -> Tracecache.hits tc);
+                  taken_branches = !sum_taken;
+                  instrs_between_taken =
+                    (if !sum_taken = 0 then float_of_int !sum_instrs
+                     else
+                       float_of_int !sum_instrs /. float_of_int !sum_taken);
+                  cond_branches = h.ccond;
+                  mispredictions =
+                    (match s.sp.prediction with
+                    | Some { pred; _ } -> Predictor.mispredictions pred
+                    | None -> 0);
+                }
+              in
+              out.(s.ix) <- Some r)
+            h.members)
+        cohorts;
+      let results =
+        Array.map (function Some r -> r | None -> assert false) out
+      in
+      (match metrics with
+      | Some reg -> Array.iter (publish reg) results
+      | None -> ());
+      (match tracer with
+      | Some tr -> Stc_obs.Trace.complete ~arg:n tr fused_id ~start:t0
+      | None -> ());
+      results
+
+  let run_packed ?ctx ?stride_words specs packed =
+    let first = ref (Some packed) in
+    run_segments ?ctx ?stride_words ~name:"engine.fused_packed" specs
+      (fun () ->
+        let p = !first in
+        first := None;
+        p)
+
+  let run_stream ?ctx ?stride_words ?resident_hwm specs stream =
+    run_segments ?ctx ?stride_words ?resident_hwm
+      ~name:"engine.fused_stream" specs (fun () -> Stream.next stream)
+end
+
 let run_packed ?ctx ?config ?icache ?trace_cache ?prediction packed =
   let first = ref (Some packed) in
   run_segments ?ctx ?config ?icache ?trace_cache ?prediction

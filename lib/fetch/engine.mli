@@ -135,6 +135,79 @@ val run_stream :
     boundary, and with tracing on each consumed segment emits one
     [engine.segment] slice whose argument is the blocks consumed. *)
 
+(** Fused replay: a bank of independent per-config engine states (each
+    the exact state a solo {!run_packed} would carry — i-cache with
+    optional victim buffer, trace cache, SEQ.3 cycle-grouping cursor)
+    advanced block-by-block from a {e single} sweep over the trace, so
+    N configurations over the same layout decode and pull each packed
+    word once instead of N times.
+
+    Per-slot results are bit-identical to running each spec alone
+    through {!run_packed} / {!run_stream} — including every cache
+    statistic and published [engine.*] counter. The identity rests on
+    two structural facts, both enforced by {!Stc_check}'s fused
+    differential, the QCheck fused properties and the golden harness:
+    SEQ.3 cycle boundaries never depend on i-cache outcomes (misses add
+    penalties; they cannot change what a cycle fetches), and empty
+    trace caches of equal geometry evolve identical contents over the
+    same walk. Slots sharing [(line_bytes, max_branches, trace-cache
+    geometry)] therefore advance one shared walk (a {e cohort}); the
+    rest step independently over the same sliding window.
+
+    As with the solo engines, pass fresh caches per spec: the bank owns
+    their state for the duration of the run, and a non-lead member's
+    trace-cache statistics are synthesized from the cohort's (its entry
+    array is never filled — correct because nothing observes trace-cache
+    contents, only counters). *)
+module Bank : sig
+  type spec = {
+    config : Config.t;
+    icache : Stc_cachesim.Icache.t option;
+    trace_cache : Tracecache.t option;
+    prediction : prediction option;
+  }
+
+  val spec :
+    ?config:Config.t ->
+    ?icache:Stc_cachesim.Icache.t ->
+    ?trace_cache:Tracecache.t ->
+    ?prediction:prediction ->
+    unit ->
+    spec
+  (** Same defaults as {!run_packed}'s optional arguments. *)
+
+  val run_packed :
+    ?ctx:Stc_obs.Run.ctx ->
+    ?stride_words:int ->
+    spec array ->
+    Packed.t ->
+    result array
+  (** One sweep over a materialized packed image; [result.(i)] is
+      bit-identical to [run_packed] of [specs.(i)] alone. The image is
+      borrowed, never copied. [stride_words] (default 16384) bounds how
+      far any engine state may run ahead of the laggard, keeping the
+      words being re-walked cache-resident; it affects wall clock only,
+      never results. An empty spec array returns [[||]] without pulling
+      the trace. With tracing on, each sweep emits one [engine.fused]
+      slice whose argument is the number of fused cells. Of [?ctx],
+      [metrics] accumulates every slot's result into the registry's
+      [engine.*] counters in input order. *)
+
+  val run_stream :
+    ?ctx:Stc_obs.Run.ctx ->
+    ?stride_words:int ->
+    ?resident_hwm:int ref ->
+    spec array ->
+    Stream.t ->
+    result array
+  (** The same sweep over a segment stream through one shared bounded
+      sliding window (the stream is pulled once for the whole bank):
+      bit-identical to {!run_packed} over the concatenated image at any
+      segment size, with peak residency O(largest segment + lookahead)
+      measured into [resident_hwm] (words) when given — the window
+      compacts below the slowest engine state's position. *)
+end
+
 val run_naive :
   ?ctx:Stc_obs.Run.ctx ->
   ?config:config ->

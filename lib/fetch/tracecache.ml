@@ -74,6 +74,8 @@ let build_trace view pos =
   (* default limits of the paper's configuration *)
   build_trace_limits view pos ~width:16 ~max_branches:3
 
+let geometry t = (Array.length t.entries, t.width, t.max_branches)
+
 let index t addr = (addr lsr 2) land (Array.length t.entries - 1)
 
 let lookup t view pos =

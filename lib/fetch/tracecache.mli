@@ -62,6 +62,13 @@ val width : t -> int
     current index a fill can read, which is what sizes the streaming
     engine's lookahead buffer. *)
 
+val geometry : t -> int * int * int
+(** [(entries, width, max_branches)]. Two empty trace caches with equal
+    geometry evolve identical contents and hit sequences over the same
+    replay, which is what lets the fused replay bank
+    ({!Stc_fetch.Engine.Bank}) drive one shared walk for every
+    same-geometry trace-cache configuration. *)
+
 val lookups : t -> int
 
 val hits : t -> int

@@ -16,6 +16,7 @@ let () =
       ("cachesim", Test_cachesim.suite);
       ("fetch", Test_fetch.suite);
       ("stream", Test_stream.suite);
+      ("fused", Test_fused.suite);
       ("core", Test_core.suite);
       ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);

@@ -235,20 +235,20 @@ let prop_oracle_engines_agree =
         F.View.create prog layout (Stc_trace.Source.of_recorder rec_)
       in
       List.iter
-        (fun case ->
-          let r = C.diff_engines ~layout_name:"rand" view case in
+        (fun r ->
           (match r.C.er_mismatches with
           | [] -> ()
           | m :: _ ->
             QCheck.Test.fail_reportf
-              "%s: %s differs (oracle %.1f, naive %.1f, packed %.1f)"
-              case.C.case_name m.C.field m.C.m_oracle m.C.m_naive m.C.m_packed);
+              "%s: %s differs (oracle %.1f, naive %.1f, packed %.1f, \
+               fused %.1f)"
+              r.C.er_case m.C.field m.C.m_oracle m.C.m_naive m.C.m_packed
+              m.C.m_fused);
           match r.C.er_divergence with
           | None -> ()
           | Some d ->
-            QCheck.Test.fail_reportf "%s: icache diverged: %s"
-              case.C.case_name d)
-        small_cases;
+            QCheck.Test.fail_reportf "%s: icache diverged: %s" r.C.er_case d)
+        (C.diff_cases ~layout_name:"rand" view small_cases);
       true)
 
 let suite =

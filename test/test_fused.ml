@@ -1,0 +1,340 @@
+(* Fused replay: Engine.Bank must be an evaluation strategy, never an
+   approximation.
+
+   - property: over random traces and random config banks (mixed
+     ideal/direct/2-way/victim/trace-cache variants, mixed engine
+     configs, occasional direction prediction), Bank.run_packed and
+     Bank.run_stream reproduce each spec's solo run_packed result,
+     cache counters and trace-cache statistics exactly — at every
+     stride and at segment sizes down to 1 block;
+   - metric exports: a bank run with a metrics registry publishes
+     byte-identical engine.* counters to the per-cell runs sharing one
+     registry;
+   - Experiments: a store-warm subset (some cells cached from an
+     earlier smaller grid, the rest fused in one sweep) produces the
+     same rows, counters and events as an unfused run. *)
+
+module F = Stc_fetch
+module L = Stc_layout
+module E = Stc_core.Experiments
+module Pipeline = Stc_core.Pipeline
+module Builder = Stc_cfg.Builder
+module Terminator = Stc_cfg.Terminator
+module Source = Stc_trace.Source
+module Registry = Stc_obs.Registry
+module Run = Stc_obs.Run
+module Bank = F.Engine.Bank
+
+(* Same random-program shape as test_stream: a linear chain whose
+   replay semantics exercise every packed-word shape. *)
+let random_program seed n =
+  let st = Random.State.make [| seed; n |] in
+  let b = Builder.create () in
+  let p = Builder.declare_proc b ~name:"p" ~subsystem:Stc_cfg.Proc.Other in
+  let ids =
+    Array.init n (fun _ ->
+        Builder.new_block b ~pid:p ~size:(1 + Random.State.int st 12))
+  in
+  Array.iteri
+    (fun i bid ->
+      let term =
+        if i = n - 1 then Terminator.Ret
+        else
+          let next = ids.(i + 1) in
+          let other = ids.(Random.State.int st n) in
+          match Random.State.int st 3 with
+          | 0 -> Terminator.Cond { taken = other; fallthru = next }
+          | 1 -> Terminator.Jump next
+          | _ -> Terminator.Fall next
+      in
+      Builder.set_term b bid term)
+    ids;
+  Builder.finish_proc b ~pid:p ~entry:ids.(0) ~blocks:ids;
+  (Builder.build b, ids)
+
+let random_trace st ids len =
+  Array.init len (fun _ -> ids.(Random.State.int st (Array.length ids)))
+
+(* One random spec; cache state is created here, so regenerating from
+   the same seed yields an identical-but-fresh bank (fused and solo
+   replays must never share mutable cache state). *)
+let random_spec st =
+  let line_bytes = if Random.State.bool st then 16 else 32 in
+  let max_branches = 2 + Random.State.int st 2 in
+  let miss_penalty = 1 + Random.State.int st 9 in
+  let config =
+    F.Engine.Config.make ~line_bytes ~max_branches ~miss_penalty ()
+  in
+  let icache =
+    match Random.State.int st 4 with
+    | 0 -> None
+    | 1 ->
+      Some
+        (Stc_cachesim.Icache.create
+           ~size_bytes:(1024 lsl Random.State.int st 3)
+           ())
+    | 2 -> Some (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:2048 ())
+    | _ ->
+      Some
+        (Stc_cachesim.Icache.create
+           ~victim_lines:(1 + Random.State.int st 8)
+           ~size_bytes:1024 ())
+  in
+  let trace_cache =
+    match Random.State.int st 3 with
+    | 0 -> None
+    | 1 -> Some (F.Tracecache.create ~entries:16 ())
+    | _ -> Some (F.Tracecache.create ~entries:64 ~width:8 ())
+  in
+  let prediction =
+    if Random.State.int st 5 = 0 then
+      Some
+        {
+          F.Engine.pred = F.Predictor.create (F.Predictor.Bimodal 256);
+          redirect_penalty = 1 + Random.State.int st 4;
+        }
+    else None
+  in
+  Bank.spec ~config ?icache ?trace_cache ?prediction ()
+
+let mk_specs seed k () =
+  let st = Random.State.make [| seed; k; 77 |] in
+  Array.init k (fun _ -> random_spec st)
+
+(* Everything a solo replay leaves behind: the result record plus the
+   final cache statistics. *)
+let snapshot sp r =
+  ( r,
+    Option.map Stc_cachesim.Icache.stats sp.Bank.icache,
+    Option.map
+      (fun tc -> (F.Tracecache.lookups tc, F.Tracecache.hits tc))
+      sp.Bank.trace_cache )
+
+let solo_reference seed k packed =
+  let specs = mk_specs seed k () in
+  Array.map
+    (fun sp ->
+      let r =
+        F.Engine.run_packed ~config:sp.Bank.config ?icache:sp.Bank.icache
+          ?trace_cache:sp.Bank.trace_cache ?prediction:sp.Bank.prediction
+          packed
+      in
+      snapshot sp r)
+    specs
+
+let prop_fused_equals_solo =
+  QCheck.Test.make
+    ~name:"fused bank == per-cell replay (packed and streamed)" ~count:60
+    QCheck.(triple (int_bound 10_000) (int_bound 300) (int_bound 1_000))
+    (fun (seed, len, aux) ->
+      let st = Random.State.make [| seed; aux |] in
+      let prog, ids = random_program seed (2 + Random.State.int st 40) in
+      let trace = random_trace st ids len in
+      let layout = L.Original.layout prog in
+      let k = 1 + Random.State.int st 7 in
+      let packed = F.Packed.compile prog layout (Source.of_array trace) in
+      let solo = solo_reference seed k packed in
+      let stride_words = [| 1; 7; 64; 16384 |].(Random.State.int st 4) in
+      let fspecs = mk_specs seed k () in
+      let frs = Bank.run_packed ~stride_words fspecs packed in
+      let fused = Array.mapi (fun i r -> snapshot fspecs.(i) r) frs in
+      if fused <> solo then
+        QCheck.Test.fail_reportf "fused packed differs (k=%d len=%d stride=%d)"
+          k len stride_words;
+      (* segment sizes stressing every boundary shape, including 1-block
+         segments and a 1-block final segment *)
+      List.for_all
+        (fun segment_blocks ->
+          let sspecs = mk_specs seed k () in
+          let stream =
+            F.Stream.create (F.Packed.tables prog layout)
+              (Source.of_array ~segment_blocks trace)
+          in
+          let srs = Bank.run_stream ~stride_words sspecs stream in
+          let streamed = Array.mapi (fun i r -> snapshot sspecs.(i) r) srs in
+          if streamed <> solo then
+            QCheck.Test.fail_reportf "fused stream differs (k=%d len=%d seg=%d)"
+              k len segment_blocks
+          else true)
+        [ 1; max 1 (len - 1); len + 1; 2 + Random.State.int st 97 ])
+
+let test_empty_bank_and_trace () =
+  let prog, ids = random_program 7 5 in
+  let layout = L.Original.layout prog in
+  let st = Random.State.make [| 3 |] in
+  let trace = random_trace st ids 500 in
+  let packed = F.Packed.compile prog layout (Source.of_array trace) in
+  Alcotest.(check int) "empty bank" 0 (Array.length (Bank.run_packed [||] packed));
+  let empty = F.Packed.compile prog layout (Source.of_array [||]) in
+  let solo = solo_reference 7 3 empty in
+  let specs = mk_specs 7 3 () in
+  let rs = Bank.run_packed specs empty in
+  Alcotest.(check bool) "empty trace fused == solo" true
+    (Array.mapi (fun i r -> snapshot specs.(i) r) rs = solo)
+
+(* The streamed bank's resident window is bounded by the segment size
+   plus lookahead, not by the trace: the window compacts below the
+   slowest cohort. *)
+let test_fused_resident_bound () =
+  let prog, ids = random_program 21 48 in
+  let layout = L.Original.layout prog in
+  let st = Random.State.make [| 42 |] in
+  let len = 50_000 and segment_blocks = 64 in
+  let trace = random_trace st ids len in
+  let packed = F.Packed.compile prog layout (Source.of_array trace) in
+  let solo = solo_reference 21 5 packed in
+  let hwm = ref 0 in
+  let specs = mk_specs 21 5 () in
+  let stream =
+    F.Stream.create (F.Packed.tables prog layout)
+      (Source.of_array ~segment_blocks trace)
+  in
+  let rs = Bank.run_stream ~resident_hwm:hwm specs stream in
+  Alcotest.(check bool) "bounded run fused == solo" true
+    (Array.mapi (fun i r -> snapshot specs.(i) r) rs = solo);
+  Alcotest.(check bool)
+    (Printf.sprintf "resident %d words bounded by segments, not trace" !hwm)
+    true
+    (!hwm <= (4 * segment_blocks) + 64 && !hwm < len / 10)
+
+(* A bank run with metrics publishes the same engine.* counters, in the
+   same order, as the per-cell runs sharing one registry. *)
+let test_fused_metrics_identical () =
+  let prog, ids = random_program 11 30 in
+  let st = Random.State.make [| 9 |] in
+  let trace = random_trace st ids 4_000 in
+  let layout = L.Original.layout prog in
+  let packed = F.Packed.compile prog layout (Source.of_array trace) in
+  let k = 6 in
+  let reg_solo = Registry.create ~clock:(fun () -> 0.0) () in
+  let ctx_solo = Run.default |> Run.with_metrics reg_solo in
+  Array.iter
+    (fun sp ->
+      ignore
+        (F.Engine.run_packed ~ctx:ctx_solo ~config:sp.Bank.config
+           ?icache:sp.Bank.icache ?trace_cache:sp.Bank.trace_cache
+           ?prediction:sp.Bank.prediction packed))
+    (mk_specs 11 k ());
+  let reg_fused = Registry.create ~clock:(fun () -> 0.0) () in
+  let ctx_fused = Run.default |> Run.with_metrics reg_fused in
+  ignore (Bank.run_packed ~ctx:ctx_fused (mk_specs 11 k ()) packed);
+  Alcotest.(check string) "exports identical"
+    (Stc_obs.Export.to_jsonl reg_solo)
+    (Stc_obs.Export.to_jsonl reg_fused)
+
+(* ---------- Experiments: store-warm subset ---------- *)
+
+let with_dir f =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "stc_fused_test.%d.%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  let rec rm_rf path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  let r = f dir in
+  rm_rf dir;
+  r
+
+let tiny_config = { Pipeline.quick_config with Pipeline.sf = 0.0004 }
+let small_grid = { E.default_sim_config with E.grid = [ (8, [ 2 ]) ] }
+let bigger_grid = { E.default_sim_config with E.grid = [ (8, [ 2; 4 ]) ] }
+
+let non_store_counters reg =
+  List.filter
+    (fun (name, _) -> not (String.starts_with ~prefix:"store." name))
+    (Registry.counters reg)
+
+let non_store_events reg =
+  List.filter
+    (fun (kind, _) -> not (String.starts_with ~prefix:"store." kind))
+    (Registry.events reg)
+
+let store_counter reg name =
+  Option.value ~default:0 (List.assoc_opt name (Registry.counters reg))
+
+(* Warm a subset of the grid's cells from a smaller grid sharing their
+   store keys, then run the bigger grid fused: warm cells short-circuit
+   out of their groups, the rest fuse — rows, counters and events must
+   match the unfused reference exactly. *)
+let test_store_warm_subset () =
+  with_dir @@ fun dir ->
+  let run ?store ~fused grid =
+    let reg = Registry.create ~clock:(fun () -> 0.0) () in
+    let ctx = Stc_core.Run.default |> Stc_core.Run.with_metrics reg in
+    let ctx =
+      match store with
+      | Some d -> Stc_core.Run.with_store d ctx
+      | None -> ctx
+    in
+    let pl = Pipeline.run ~ctx ~config:tiny_config () in
+    let rows = E.simulate ~ctx ~config:grid ~fused pl in
+    (reg, rows)
+  in
+  (* cold small grid populates the store with a strict subset of the
+     bigger grid's cell keys *)
+  let _, small_rows = run ~store:dir ~fused:true small_grid in
+  let warm_reg, warm_rows = run ~store:dir ~fused:true bigger_grid in
+  Alcotest.(check bool) "some cells were warm" true
+    (store_counter warm_reg "store.hits" > 0);
+  Alcotest.(check bool) "some cells were cold" true
+    (store_counter warm_reg "store.misses" > 0);
+  (* unfused reference without a store *)
+  let ref_reg, ref_rows = run ~fused:false bigger_grid in
+  Alcotest.(check bool) "rows identical" true (warm_rows = ref_rows);
+  Alcotest.(check bool) "counters identical" true
+    (non_store_counters warm_reg = non_store_counters ref_reg);
+  Alcotest.(check bool) "events identical" true
+    (non_store_events warm_reg = non_store_events ref_reg);
+  (* the small grid's rows are a subset of the bigger grid's *)
+  Alcotest.(check bool) "subset rows consistent" true
+    (List.for_all (fun r -> List.mem r ref_rows) small_rows)
+
+(* Fused and unfused grids agree without any store, in both materialized
+   and streamed modes, at jobs 1 and 2. *)
+let test_fused_grid_identical () =
+  let run ~fused ~streamed ~jobs =
+    let reg = Registry.create ~clock:(fun () -> 0.0) () in
+    let ctx =
+      Stc_core.Run.default |> Stc_core.Run.with_metrics reg
+      |> Stc_core.Run.with_jobs jobs
+    in
+    let pl = Pipeline.run ~ctx ~config:tiny_config () in
+    let rows = E.simulate ~ctx ~config:small_grid ~streamed ~fused pl in
+    (Stc_obs.Export.to_jsonl reg, rows)
+  in
+  let ref_export, ref_rows = run ~fused:false ~streamed:false ~jobs:1 in
+  List.iter
+    (fun (fused, streamed, jobs) ->
+      let export, rows = run ~fused ~streamed ~jobs in
+      let what = Printf.sprintf "fused=%b streamed=%b jobs=%d" fused streamed jobs in
+      Alcotest.(check bool) (what ^ " rows") true (rows = ref_rows);
+      Alcotest.(check string) (what ^ " export") ref_export export)
+    [
+      (true, false, 1);
+      (true, true, 1);
+      (true, false, 2);
+      (true, true, 2);
+      (false, true, 1);
+    ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_fused_equals_solo;
+    Alcotest.test_case "empty bank and empty trace" `Quick
+      test_empty_bank_and_trace;
+    Alcotest.test_case "fused streamed residency is segment-bounded" `Quick
+      test_fused_resident_bound;
+    Alcotest.test_case "fused metrics export identical" `Quick
+      test_fused_metrics_identical;
+    Alcotest.test_case "store-warm subset fuses the rest" `Slow
+      test_store_warm_subset;
+    Alcotest.test_case "fused grid identical (modes x jobs)" `Slow
+      test_fused_grid_identical;
+  ]

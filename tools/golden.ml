@@ -2,6 +2,7 @@
    outputs and diff them against committed snapshots.
 
      golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]
+            [--no-fuse]
 
    One quick pipeline run (seeded, default 1) produces three artifacts:
 
@@ -18,9 +19,11 @@
    with --update and commit the result.
 
    --stream replays every simulation cell through the bounded segment
-   pipeline (Engine.run_stream) instead of a materialized packed image.
-   The snapshots are shared: streaming is required to be byte-identical,
-   so the same golden/ directory checks both paths.
+   pipeline (Engine.run_stream) instead of a materialized packed image;
+   --no-fuse replays each cell with its own engine sweep instead of the
+   default fused per-layout Engine.Bank sweeps.  The snapshots are
+   shared: streaming and fusing are both required to be byte-identical,
+   so the same golden/ directory checks every path.
 
    Exit codes: 0 clean, 1 drift, 2 usage/missing-snapshot error. *)
 
@@ -31,7 +34,8 @@ module Obs = Stc_obs
 
 let usage () =
   prerr_endline
-    "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]";
+    "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream] \
+     [--no-fuse]";
   exit 2
 
 let parse_args () =
@@ -39,7 +43,8 @@ let parse_args () =
   and dir = ref "golden"
   and jobs = ref 1
   and seed = ref 1
-  and streamed = ref false in
+  and streamed = ref false
+  and fused = ref true in
   let rec go = function
     | [] -> ()
     | "--update" :: rest ->
@@ -47,6 +52,9 @@ let parse_args () =
       go rest
     | "--stream" :: rest ->
       streamed := true;
+      go rest
+    | "--no-fuse" :: rest ->
+      fused := false;
       go rest
     | "--golden" :: d :: rest ->
       dir := d;
@@ -60,7 +68,7 @@ let parse_args () =
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!update, !dir, !jobs, !seed, !streamed)
+  (!update, !dir, !jobs, !seed, !streamed, !fused)
 
 let write_lines path lines =
   let oc = open_out path in
@@ -105,16 +113,18 @@ let diff_lines ~name golden current =
   go 1 golden current
 
 let () =
-  let update, dir, jobs, seed, streamed = parse_args () in
+  let update, dir, jobs, seed, streamed, fused = parse_args () in
   let reg = Obs.Registry.create () in
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_seed seed
     |> Run.with_jobs jobs
   in
   let pl = Pipeline.run ~ctx ~config:Pipeline.quick_config () in
-  let sim_lines = List.map E.row_to_string (E.simulate ~ctx ~streamed pl) in
+  let sim_lines =
+    List.map E.row_to_string (E.simulate ~ctx ~streamed ~fused pl)
+  in
   let abl_lines =
-    List.map E.ablation_row_to_string (E.ablation ~ctx ~streamed pl)
+    List.map E.ablation_row_to_string (E.ablation ~ctx ~streamed ~fused pl)
   in
   let sim_path = Filename.concat dir "simulate_rows.txt" in
   let abl_path = Filename.concat dir "ablation_rows.txt" in
@@ -158,7 +168,8 @@ let () =
          records, jobs=%d, seed=%d%s)\n"
         (List.length sim_lines) (List.length abl_lines)
         (List.length met_golden) jobs seed
-        (if streamed then ", streamed" else "")
+        ((if streamed then ", streamed" else "")
+        ^ if fused then "" else ", no-fuse")
     | msgs ->
       List.iter print_endline msgs;
       Printf.printf "golden: %d drift(s) against %s\n" (List.length msgs) dir;

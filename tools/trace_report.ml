@@ -6,7 +6,9 @@
    time), pool utilization per domain (share of the pool window each
    domain spent inside "pool.chunk" slices), per-domain engine segment
    windows ("engine.segment" Complete slices from streamed replays,
-   with the block counts they carry), the N slowest grid cells
+   with the block counts they carry), fused replay sweeps
+   ("engine.fused" Complete slices, one per per-layout bank sweep with
+   the number of cells it fused), the N slowest grid cells
    ("cell:..." slices, --top, default 10), and the artifact-store time
    split (store.hit / store.miss / store.write Complete events with
    their byte volumes).
@@ -280,6 +282,34 @@ let engine_segments slices =
          (List.sort_uniq compare (List.map (fun s -> s.s_tid) segs)))
   end
 
+(* Fused replay banks emit one "engine.fused" Complete slice per
+   per-layout sweep, carrying the number of cells fused into it.  Sweeps
+   are few and long — list each one. *)
+let fused_sweeps slices =
+  let fs = List.filter (fun s -> s.s_name = "engine.fused") slices in
+  if fs <> [] then begin
+    section "fused sweeps (engine.fused)";
+    let tbl =
+      Tbl.create
+        ~headers:
+          [ ("domain", Tbl.Left); ("cells", Tbl.Right); ("wall", Tbl.Right) ]
+    in
+    List.iter
+      (fun s ->
+        Tbl.add_row tbl
+          [
+            Printf.sprintf "domain-%d" s.s_tid;
+            string_of_int s.s_bytes;
+            fus s.s_dur;
+          ])
+      fs;
+    print_string (Tbl.render tbl);
+    let cells = List.fold_left (fun acc s -> acc + s.s_bytes) 0 fs in
+    Printf.printf "%d sweep(s) fusing %d cell(s), %.1f cells/sweep\n\n"
+      (List.length fs) cells
+      (float_of_int cells /. float_of_int (List.length fs))
+  end
+
 let top_cells slices top =
   let cells =
     List.filter (fun s -> String.starts_with ~prefix:"cell:" s.s_name) slices
@@ -388,6 +418,7 @@ let () =
   top_level_table slices;
   let mean_util = pool_utilization slices in
   engine_segments slices;
+  fused_sweeps slices;
   top_cells slices top;
   store_split slices;
   match assert_util with
