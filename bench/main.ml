@@ -7,7 +7,8 @@
 
    Arguments:
      table1 | figure2 | reuse | table2 | figure3 | table3 | table4
-       | ablation | fetch | stream | fused | micro — run a single part
+       | ablation | fetch | stream | fused | store | layout | micro
+       — run a single part
      --quick                   — reduced kernel and scale factor
      --scale SF                — override the TPC-D scale factor
      --seed N                  — master seed (Pipeline.seeded derivation)
@@ -54,7 +55,12 @@
    once warm — checks the rows are identical, prints the cold/warm wall
    times and writes them to BENCH_store.json. Without --store it uses a
    fresh temporary store (removed afterwards) so the cold pass really is
-   cold. *)
+   cold.
+
+   The [layout] part times plan construction for every algorithm in the
+   Stc_layout.Algo registry (cold and warm, at the 16KB/4KB check
+   geometry) and writes one provenance-stamped record per algorithm to
+   BENCH_layout.json. *)
 
 module E = Stc_core.Experiments
 module Pipeline = Stc_core.Pipeline
@@ -601,7 +607,6 @@ let stream_bench () =
 let grid_cells pl =
   let sc = E.default_sim_config in
   let profile = pl.Pipeline.profile in
-  let prog = pl.Pipeline.program in
   let mk_icache ?assoc ?victim_lines kb () =
     Stc_cachesim.Icache.create ?assoc ?victim_lines ~size_bytes:(kb * 1024) ()
   in
@@ -612,8 +617,12 @@ let grid_cells pl =
   let victim kb () = (Some (mk_icache ~victim_lines:16 kb ()), None) in
   let tc kb () = (Some (mk_icache kb ()), Some (mk_tc ())) in
   let tc_ideal () = (None, Some (mk_tc ())) in
-  let orig = L.Original.layout prog in
-  let ph = L.Pettis_hansen.layout profile in
+  let algo name =
+    match L.Algo.find name with Ok a -> a | Error msg -> invalid_arg msg
+  in
+  let baseline_params = L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 () in
+  let orig = L.Algo.layout (algo "orig") profile baseline_params in
+  let ph = L.Algo.layout (algo "P&H") profile baseline_params in
   let cells = ref [] in
   let add layout mk = cells := (layout, mk) :: !cells in
   add orig ideal;
@@ -629,22 +638,13 @@ let grid_cells pl =
       List.iter
         (fun cfa ->
           let params =
-            L.Stc.params ~exec_threshold:sc.E.exec_threshold
+            L.Algo.params ~exec_threshold:sc.E.exec_threshold
               ~branch_threshold:sc.E.branch_threshold
               ~cache_bytes:(kb * 1024) ~cfa_bytes:(cfa * 1024) ()
           in
-          let torr =
-            L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-              ~cache_bytes:(kb * 1024) ~cfa_bytes:(cfa * 1024)
-          in
-          let auto =
-            L.Stc.layout profile ~name:"auto" ~params
-              ~seeds:(L.Stc.auto_seeds profile)
-          in
-          let ops =
-            L.Stc.layout profile ~name:"ops" ~params
-              ~seeds:(L.Stc.ops_seeds profile)
-          in
+          let torr = L.Algo.layout (algo "Torr") profile params in
+          let auto = L.Algo.layout (algo "auto") profile params in
+          let ops = L.Algo.layout (algo "ops") profile params in
           List.iter
             (fun l ->
               add l (direct kb);
@@ -854,6 +854,62 @@ let store_bench () =
   Printf.printf "  [store] BENCH_store.json written\n\n%!";
   if fresh then rm_rf dir
 
+(* ---------- layout-algorithm plan construction ---------- *)
+
+(* Times Algo.plan for every registered algorithm at the check-bundle
+   geometry (16KB cache / 4KB CFA, grid thresholds) and writes one
+   provenance-stamped record per algorithm to BENCH_layout.json. The
+   cold time is what the simulation grid's serial prefix actually pays;
+   a warm repeat is reported too so memoizing algorithms (codestitcher,
+   exttsp cache their chains per profile) are visible as such. *)
+let layout_bench () =
+  section "Layout algorithms (plan construction)";
+  let pl = Lazy.force pipeline in
+  let profile = pl.Pipeline.profile in
+  let params =
+    L.Algo.params ~exec_threshold:50 ~branch_threshold:0.3
+      ~cache_bytes:(16 * 1024) ~cfa_bytes:(4 * 1024) ()
+  in
+  let rows =
+    List.map
+      (fun algo ->
+        let t0 = Unix.gettimeofday () in
+        let plan = L.Algo.plan algo profile params in
+        let cold = Unix.gettimeofday () -. t0 in
+        let t1 = Unix.gettimeofday () in
+        let plan' = L.Algo.plan algo profile params in
+        let warm = Unix.gettimeofday () -. t1 in
+        ignore plan';
+        let seqs = List.length plan.L.Mapping.cfa_seqs
+        and others = List.length plan.L.Mapping.other_seqs in
+        Printf.printf
+          "  %-14s cold %8.3f ms  warm %8.3f ms  (%d CFA seqs, %d others)\n%!"
+          algo.L.Algo.name (cold *. 1e3) (warm *. 1e3) seqs others;
+        J.Obj
+          [
+            ("algo", J.Str algo.L.Algo.name);
+            ("slug", J.Str algo.L.Algo.slug);
+            ("uses_cfa", J.Bool algo.L.Algo.uses_cfa);
+            ("cold_plan_s", J.Float cold);
+            ("warm_plan_s", J.Float warm);
+            ("cfa_seqs", J.Int seqs);
+            ("other_seqs", J.Int others);
+          ])
+      (L.Algo.all ())
+  in
+  let oc = open_out "BENCH_layout.json" in
+  output_string oc
+    (J.to_string
+       (J.Obj
+          [
+            ("part", J.Str "layout");
+            ("rows", J.List rows);
+            ("provenance", Meta.provenance ~jobs);
+          ]));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  [layout] BENCH_layout.json written\n\n%!"
+
 (* ---------- Bechamel micro-benchmarks ---------- *)
 
 let micro () =
@@ -894,7 +950,13 @@ let micro () =
                (L.Stc.layout profile ~name:"ops" ~params
                   ~seeds:(L.Stc.ops_seeds profile))));
       Test.make ~name:"table3-4/pettis-hansen"
-        (Staged.stage (fun () -> ignore (L.Pettis_hansen.layout profile)));
+        (Staged.stage (fun () ->
+             match L.Algo.find "P&H" with
+             | Ok a ->
+               ignore
+                 (L.Algo.layout a profile
+                    (L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 ()))
+             | Error msg -> invalid_arg msg));
       (* Table 3: cache simulation throughput *)
       Test.make ~name:"table3/icache-sim"
         (Staged.stage (fun () ->
@@ -937,6 +999,7 @@ let () =
   if wants "stream" && parts <> [] then stream_bench ();
   if wants "fused" && parts <> [] then fused_bench ();
   if wants "store" && parts <> [] then store_bench ();
+  if wants "layout" && parts <> [] then layout_bench ();
   if wants "micro" then micro ();
   (match metrics_file with
   | Some path ->

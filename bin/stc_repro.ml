@@ -128,6 +128,34 @@ let progress_arg =
     & info [ "progress" ]
         ~doc:"Report event rate (and ETA where known) on stderr.")
 
+let layouts_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "layouts" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated layout algorithms for the per-CFA grid rows \
+           (default: every registered one). Names, slugs and aliases from \
+           the algorithm registry are accepted, case-insensitively — see \
+           $(b,stc_repro layouts) for the list. The orig and P&H \
+           baseline rows are always simulated.")
+
+(* Split, trim and resolve a --layouts value against the registry;
+   exit 1 with the valid names spelled out on any unknown entry. *)
+let parse_layouts = function
+  | None -> None
+  | Some csv ->
+    let names =
+      String.split_on_char ',' csv
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+    in
+    (match E.resolve_layouts names with
+    | Ok _ -> Some names
+    | Error msg ->
+      Printf.eprintf "stc_repro: %s\n" msg;
+      exit 1)
+
 let store_arg =
   Arg.(
     value
@@ -237,7 +265,8 @@ let characterize_cmd =
       $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let simulate_run quick sf seed frames jobs store exec branch streamed no_fuse
-    metrics trace progress =
+    layouts metrics trace progress =
+  let layouts = parse_layouts layouts in
   let reg = Obs.Registry.create () in
   check_metrics_path metrics;
   check_out_path "trace" trace;
@@ -249,7 +278,7 @@ let simulate_run quick sf seed frames jobs store exec branch streamed no_fuse
   let t0 = Unix.gettimeofday () in
   let rows =
     E.simulate ~ctx ~config:(sim_config exec branch) ~streamed
-      ~fused:(not no_fuse) pl
+      ~fused:(not no_fuse) ?layouts pl
   in
   Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
     (Unix.gettimeofday () -. t0);
@@ -266,7 +295,7 @@ let simulate_term =
   Term.(
     const simulate_run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
     $ store_arg $ exec_arg $ branch_arg $ stream_arg $ no_fuse_arg
-    $ metrics_arg $ trace_arg $ progress_arg)
+    $ layouts_arg $ metrics_arg $ trace_arg $ progress_arg)
 
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
@@ -358,6 +387,32 @@ let check_cmd =
       const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
       $ store_arg $ metrics_arg $ trace_arg $ progress_arg)
 
+let layouts_cmd =
+  let run () =
+    Printf.printf "Registered layout algorithms (in grid order):\n\n";
+    List.iter
+      (fun a ->
+        let open Stc_layout.Algo in
+        Printf.printf "  %-14s %s%s\n" a.name
+          (if a.uses_cfa then "[CFA] " else "[baseline] ")
+          (match a.aliases with
+          | [] -> ""
+          | l -> Printf.sprintf "(also: %s)" (String.concat ", " l));
+        Printf.printf "    %s\n\n" a.describe)
+      (Stc_layout.Algo.all ());
+    Printf.printf
+      "Baselines are always simulated; select CFA algorithms for the \
+       grid\nwith, e.g., --layouts ops,codestitcher,exttsp.\n"
+  in
+  Cmd.v
+    (Cmd.info "layouts"
+       ~doc:
+         "List the registered layout algorithms — names, aliases and a \
+          one-paragraph description each — in the order they appear in \
+          the comparison grid. Use the names with $(b,simulate \
+          --layouts).")
+    Term.(const run $ const ())
+
 let all_cmd =
   let run quick sf seed frames jobs store exec branch metrics trace progress =
     let reg = Obs.Registry.create () in
@@ -407,5 +462,6 @@ let () =
             ablation_cmd;
             extensions_cmd;
             check_cmd;
+            layouts_cmd;
             all_cmd;
           ]))

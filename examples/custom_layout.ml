@@ -107,19 +107,21 @@ let () =
     (Stc_trace.Source.of_recorder recorder)
     (Stc_profile.Profile.sink profile);
   let params =
-    L.Stc.params ~exec_threshold:10 ~branch_threshold:0.3 ~cache_bytes:1024
+    L.Algo.params ~exec_threshold:10 ~branch_threshold:0.3 ~cache_bytes:1024
       ~cfa_bytes:256 ()
   in
-  let layouts =
-    [
-      L.Original.layout program;
-      L.Pettis_hansen.layout profile;
-      L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-        ~cache_bytes:1024 ~cfa_bytes:256;
-      L.Stc.layout profile ~name:"stc" ~params ~seeds:(L.Stc.auto_seeds profile);
-    ]
+  (* every placement algorithm comes out of the registry — a new one
+     registered in Stc_layout.Algo would appear here by name too *)
+  let algo name =
+    match L.Algo.find name with Ok a -> a | Error msg -> failwith msg
   in
-  Printf.printf "%-6s %12s %8s %10s\n" "layout" "miss/100instr" "IPC" "seq-run";
+  let layouts =
+    List.map
+      (fun name -> L.Algo.layout (algo name) profile params)
+      [ "orig"; "P&H"; "Torr"; "auto"; "codestitcher"; "exttsp" ]
+  in
+  Printf.printf "%-14s %12s %8s %10s\n" "layout" "miss/100instr" "IPC"
+    "seq-run";
   List.iter
     (fun layout ->
       let view =
@@ -128,7 +130,7 @@ let () =
       in
       let icache = Stc_cachesim.Icache.create ~size_bytes:1024 () in
       let r = F.Engine.run ~icache view in
-      Printf.printf "%-6s %13.2f %8.2f %10.1f\n" layout.L.Layout.name
+      Printf.printf "%-14s %13.2f %8.2f %10.1f\n" layout.L.Layout.name
         (F.Engine.miss_rate_pct r) (F.Engine.bandwidth r)
         r.F.Engine.instrs_between_taken)
     layouts

@@ -624,43 +624,29 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
   and c_mismatches = counter "check.engine_mismatches" in
   let profile = pl.Pipeline.profile in
   let prog = pl.Pipeline.program in
-  (* every layout algorithm at the simulation grid's thresholds *)
+  (* every registered layout algorithm at the simulation grid's
+     thresholds — a newly registered algorithm is validated here without
+     touching this module *)
   let r_layouts =
     Run.span ctx "check-layouts" @@ fun () ->
     let params =
-      L.Stc.params ~exec_threshold:50 ~branch_threshold:0.3
+      L.Algo.params ~exec_threshold:50 ~branch_threshold:0.3
         ~cache_bytes:check_cache_bytes ~cfa_bytes:check_cfa_bytes ()
     in
-    let torr_plan =
-      L.Torrellas.plan profile ~seq_params:params.L.Stc.seq
-        ~cfa_bytes:check_cfa_bytes
-    in
-    let auto_plan =
-      L.Stc.plan profile ~params ~seeds:(L.Stc.auto_seeds profile)
-    in
-    let ops_plan =
-      L.Stc.plan profile ~params ~seeds:(L.Stc.ops_seeds profile)
-    in
-    let mapped name plan =
-      Mapping.map_plan prog ~name ~cache_bytes:check_cache_bytes
-        ~cfa_bytes:check_cfa_bytes plan
-    in
     let subjects =
-      [
-        ("orig", L.Original.layout prog, None);
-        ("P&H", L.Pettis_hansen.layout profile, None);
-        ("Torr", mapped "Torr" torr_plan, Some torr_plan);
-        ("auto", mapped "auto" auto_plan, Some auto_plan);
-        ("ops", mapped "ops" ops_plan, Some ops_plan);
-      ]
+      List.map
+        (fun algo ->
+          let plan = L.Algo.plan algo profile params in
+          let cfa_bytes = L.Algo.effective_cfa_bytes algo params in
+          let layout =
+            Mapping.map_plan prog ~name:algo.L.Algo.name
+              ~cache_bytes:check_cache_bytes ~cfa_bytes plan
+          in
+          (algo.L.Algo.name, layout, Some (plan, check_cache_bytes, cfa_bytes)))
+        (L.Algo.all ())
     in
     List.map
-      (fun (lr_name, layout, plan) ->
-        let cfa_plan =
-          Option.map
-            (fun p -> (p, check_cache_bytes, check_cfa_bytes))
-            plan
-        in
+      (fun (lr_name, layout, cfa_plan) ->
         let lr_violations = Layouts.all ?cfa_plan profile layout in
         bump c_layouts 1;
         bump c_violations (List.length lr_violations);
@@ -676,26 +662,25 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
         { lr_name; lr_violations })
       subjects
   in
-  (* engine differential on the test trace, over a CFA layout and the
-     original one *)
+  (* engine differential on the test trace: the original baseline, the
+     paper's headline CFA layout and the two imported comparators *)
   let r_engines =
     Run.span ctx "check-engines" @@ fun () ->
     let params =
-      L.Stc.params ~exec_threshold:50 ~branch_threshold:0.3
+      L.Algo.params ~exec_threshold:50 ~branch_threshold:0.3
         ~cache_bytes:check_cache_bytes ~cfa_bytes:check_cfa_bytes ()
     in
-    let ops =
-      L.Stc.layout profile ~name:"ops" ~params
-        ~seeds:(L.Stc.ops_seeds profile)
+    let view_of name =
+      match L.Algo.find name with
+      | Error msg -> invalid_arg msg
+      | Ok algo ->
+        ( algo.L.Algo.name,
+          View.create prog
+            (L.Algo.layout algo profile params)
+            (Pipeline.test_source pl) )
     in
     let views =
-      [
-        ( "orig",
-          View.create prog
-            (L.Original.layout prog)
-            (Pipeline.test_source pl) );
-        ("ops", View.create prog ops (Pipeline.test_source pl));
-      ]
+      List.map view_of [ "orig"; "ops"; "codestitcher"; "exttsp" ]
     in
     List.concat_map
       (fun (layout_name, view) ->

@@ -204,19 +204,22 @@ type layout_report = {
 
 type report = {
   r_layouts : layout_report list;
-      (** Original, P&H, Torrellas, STC-auto, STC-ops. *)
+      (** Every {!Stc_layout.Algo} registry entry, in registration
+          order. *)
   r_engines : engine_report list;
-      (** {!default_cases} over the orig and ops layouts. *)
+      (** {!default_cases} over the orig, ops, codestitcher and exttsp
+          layouts. *)
   r_icache : (string * string option) list;
       (** Random-stream i-cache differentials per geometry. *)
 }
 
 val run_all : ?ctx:Stc_core.Run.ctx -> Stc_core.Pipeline.t -> report
-(** Build all five layouts from the pipeline's profile (16KB cache, 4KB
-    CFA, the simulation grid's thresholds), validate each; run the
-    four-way engine differential ({!diff_cases}) on the test trace over
-    the orig and ops views, fusing every {!default_cases} entry into one
-    bank per view; run the seeded i-cache stream differential on three
+(** Build every registered layout algorithm from the pipeline's profile
+    (16KB cache, 4KB CFA, the simulation grid's thresholds), validate
+    each against its own plan; run the four-way engine differential
+    ({!diff_cases}) on the test trace over the orig, ops, codestitcher
+    and exttsp views, fusing every {!default_cases} entry into one bank
+    per view; run the seeded i-cache stream differential on three
     geometries. Of [ctx], [metrics] feeds the
     [check.*] counters and events, [seed] seeds the address streams. *)
 

@@ -704,13 +704,48 @@ let exec_cells ~(ctx : Run.ctx) ~label ~fused (pl : Pipeline.t) cells =
   Array.to_list rows
 
 let stc_params (c : sim_config) ~cache_bytes ~cfa_bytes =
-  L.Stc.params ~exec_threshold:c.exec_threshold
+  L.Algo.params ~exec_threshold:c.exec_threshold
     ~branch_threshold:c.branch_threshold ~cache_bytes ~cfa_bytes ()
+
+(* ---------- layout-algorithm selection ----------
+
+   Algorithms come from the {!L.Algo} registry: the two fixed baselines
+   ([orig], [P&H]) anchor every table, and [?layouts] selects which
+   CFA-parameterized algorithms fill the (cache × CFA) grid — default:
+   all of them, in registration order. *)
+
+let algo_exn name =
+  match L.Algo.find name with Ok a -> a | Error e -> invalid_arg e
+
+let resolve_layouts names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+      match L.Algo.find name with
+      | Error e -> Error e
+      | Ok a when not a.L.Algo.uses_cfa ->
+        Error
+          (Printf.sprintf
+             "layout algorithm %S is a fixed baseline (always in the grid); \
+              valid --layouts names: %s"
+             name
+             (String.concat ", "
+                (List.filter_map
+                   (fun a ->
+                     if a.L.Algo.uses_cfa then Some a.L.Algo.name else None)
+                   (L.Algo.all ()))))
+      | Ok a -> go (a :: acc) rest)
+  in
+  go [] names
+
+let selected_algos = function
+  | None -> List.filter (fun a -> a.L.Algo.uses_cfa) (L.Algo.all ())
+  | Some names -> (
+    match resolve_layouts names with Ok l -> l | Error e -> invalid_arg e)
 
 (* Store-backed layout construction for the serial planning prefixes.
    Layouts are pure functions of the profile (program + training trace)
-   and the algorithm parameters, so those make the key; [Original] is an
-   identity pass and is never cached. *)
+   and the (algorithm, params) fingerprint, so those make the key. *)
 let layout_cache ~ctx (pl : Pipeline.t) =
   match Stc_store.of_ctx ctx with
   | None -> fun ~algo:_ ~params:_ f -> f ()
@@ -719,23 +754,34 @@ let layout_cache ~ctx (pl : Pipeline.t) =
     let train_fp = Stc_store.Fp.trace pl.Pipeline.training in
     fun ~algo ~params f ->
       let key =
-        Stc_store.Key.of_parts ([ "layout"; prog_fp; train_fp; algo ] @ params)
+        Stc_store.Key.of_parts
+          [
+            "layout";
+            prog_fp;
+            train_fp;
+            Stc_store.Fp.layout_algo ~algo:algo.L.Algo.slug params;
+          ]
       in
       Stc_store.Layout.cached (Some st) ~key f
+
+let build_layout ~ctx ~cached_layout profile algo params =
+  Run.span ctx ("layout-" ^ algo.L.Algo.slug) (fun () ->
+      cached_layout ~algo ~params (fun () -> L.Algo.layout algo profile params))
+
+(* The baselines ignore thresholds and geometry; a fixed params record
+   keeps their store keys stable across grid configurations. *)
+let baseline_params = L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 ()
 
 (* The serial prefix: build every layout (cheap, and Profile memoizes a
    successor cache that must not be raced) and list the grid's cells in
    the exact order the serial implementation visited them. *)
-let plan_simulate ~ctx ~streamed config (pl : Pipeline.t) =
-  let span name f = Run.span ctx name f in
+let plan_simulate ~ctx ~streamed ?layouts config (pl : Pipeline.t) =
+  let algos = selected_algos layouts in
   let cached_layout = layout_cache ~ctx pl in
   let profile = pl.Pipeline.profile in
-  let orig = span "layout-original" (fun () -> L.Original.layout pl.Pipeline.program) in
-  let ph =
-    span "layout-pettis-hansen" (fun () ->
-        cached_layout ~algo:"pettis-hansen" ~params:[] (fun () ->
-            L.Pettis_hansen.layout profile))
-  in
+  let build = build_layout ~ctx ~cached_layout profile in
+  let orig = build (algo_exn "orig") baseline_params in
+  let ph = build (algo_exn "P&H") baseline_params in
   let cells = ref [] in
   let add layout variant ~cache_kb ~cfa_kb =
     cells :=
@@ -767,50 +813,30 @@ let plan_simulate ~ctx ~streamed config (pl : Pipeline.t) =
         (fun cfa ->
           let cfa_bytes = cfa * 1024 in
           let params = stc_params config ~cache_bytes ~cfa_bytes in
-          let thresholds =
-            [
-              string_of_int config.exec_threshold;
-              string_of_float config.branch_threshold;
-              string_of_int cache_bytes;
-              string_of_int cfa_bytes;
-            ]
-          in
-          let torr =
-            span "layout-torrellas" (fun () ->
-                cached_layout ~algo:"torrellas" ~params:thresholds (fun () ->
-                    L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-                      ~cache_bytes ~cfa_bytes))
-          in
-          let auto =
-            span "layout-stc" (fun () ->
-                cached_layout ~algo:"stc-auto" ~params:thresholds (fun () ->
-                    L.Stc.layout profile ~name:"auto" ~params
-                      ~seeds:(L.Stc.auto_seeds profile)))
-          in
-          let ops =
-            span "layout-stc" (fun () ->
-                cached_layout ~algo:"stc-ops" ~params:thresholds (fun () ->
-                    L.Stc.layout profile ~name:"ops" ~params
-                      ~seeds:(L.Stc.ops_seeds profile)))
-          in
+          let built = List.map (fun a -> (a, build a params)) algos in
           let cfa_kb = Some cfa in
           List.iter
-            (fun layout ->
+            (fun (_, layout) ->
               add layout Direct ~cache_kb ~cfa_kb;
               add layout Ideal ~cache_kb ~cfa_kb)
-            [ torr; auto; ops ];
-          (* software + hardware trace cache *)
-          add ops Trace_cache ~cache_kb ~cfa_kb;
-          add ops Tc_ideal ~cache_kb ~cfa_kb)
+            built;
+          (* software + hardware trace cache, on the headline layout *)
+          match
+            List.find_opt (fun (a, _) -> a.L.Algo.name = "ops") built
+          with
+          | Some (_, ops) ->
+            add ops Trace_cache ~cache_kb ~cfa_kb;
+            add ops Tc_ideal ~cache_kb ~cfa_kb
+          | None -> ())
         cfas)
     config.grid;
   List.rev !cells
 
 let simulate ?(ctx = Run.default) ?(config = default_sim_config)
-    ?(streamed = false) ?(fused = true) pl =
+    ?(streamed = false) ?(fused = true) ?layouts pl =
   Run.span ctx "simulate-grid" @@ fun () ->
   exec_cells ~ctx ~label:"simulate" ~fused pl
-    (plan_simulate ~ctx ~streamed config pl)
+    (plan_simulate ~ctx ~streamed ?layouts config pl)
 
 (* ---------- table rendering ---------- *)
 
@@ -842,20 +868,28 @@ let grid_of rows =
   Hashtbl.fold (fun k v acc -> (k, List.sort compare v) :: acc) tbl []
   |> List.sort compare
 
+(* The CFA-parameterized layouts actually present, in first-appearance
+   (= registry) order — the tables grow a column per selected algorithm
+   instead of hard-coding the 1999 contenders. *)
+let cfa_layout_names rows =
+  let seen = Hashtbl.create 8 in
+  List.filter_map
+    (fun r ->
+      match r.cfa_kb with
+      | Some _ when r.variant = Direct && not (Hashtbl.mem seen r.layout) ->
+        Hashtbl.add seen r.layout ();
+        Some r.layout
+      | _ -> None)
+    rows
+
 let print_table3 rows =
+  let cfa_names = cfa_layout_names rows in
   let t =
     Tbl.create
       ~headers:
-        [
-          ("i-cache/CFA", Tbl.Left);
-          ("orig", Tbl.Right);
-          ("P&H", Tbl.Right);
-          ("Torr", Tbl.Right);
-          ("auto", Tbl.Right);
-          ("ops", Tbl.Right);
-          ("2-way", Tbl.Right);
-          ("victim", Tbl.Right);
-        ]
+        ([ ("i-cache/CFA", Tbl.Left); ("orig", Tbl.Right); ("P&H", Tbl.Right) ]
+        @ List.map (fun n -> (n, Tbl.Right)) cfa_names
+        @ [ ("2-way", Tbl.Right); ("victim", Tbl.Right) ])
   in
   let grid = grid_of rows in
   let last_group = List.length grid - 1 in
@@ -871,16 +905,17 @@ let print_table3 rows =
           in
           let cfa = Some cfa_kb in
           Tbl.add_row t
-            [
-              Printf.sprintf "%d/%d" cache_kb cfa_kb;
-              fixed "orig" Direct;
-              fixed "P&H" Direct;
-              miss_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              miss_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              miss_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              fixed "orig" Two_way;
-              fixed "orig" Victim;
-            ])
+            ([
+               Printf.sprintf "%d/%d" cache_kb cfa_kb;
+               fixed "orig" Direct;
+               fixed "P&H" Direct;
+             ]
+            @ List.map
+                (fun layout ->
+                  miss_cell
+                    (find rows ~layout ~cache_kb ~cfa_kb:cfa ~variant:Direct))
+                cfa_names
+            @ [ fixed "orig" Two_way; fixed "orig" Victim ]))
         cfas;
       if gi < last_group then Tbl.add_rule t)
     grid;
@@ -889,19 +924,13 @@ let print_table3 rows =
   Tbl.print t
 
 let print_table4 rows =
+  let cfa_names = cfa_layout_names rows in
   let t =
     Tbl.create
       ~headers:
-        [
-          ("i-cache/CFA", Tbl.Left);
-          ("orig", Tbl.Right);
-          ("P&H", Tbl.Right);
-          ("Torr", Tbl.Right);
-          ("auto", Tbl.Right);
-          ("ops", Tbl.Right);
-          ("TC 16KB", Tbl.Right);
-          ("TC+ops", Tbl.Right);
-        ]
+        ([ ("i-cache/CFA", Tbl.Left); ("orig", Tbl.Right); ("P&H", Tbl.Right) ]
+        @ List.map (fun n -> (n, Tbl.Right)) cfa_names
+        @ [ ("TC 16KB", Tbl.Right); ("TC+ops", Tbl.Right) ])
   in
   (* Ideal line *)
   let ideal layout cfa_kb =
@@ -940,16 +969,13 @@ let print_table4 rows =
     | _ -> Tbl.f2 (List.fold_left max neg_infinity vals)
   in
   Tbl.add_row t
-    [
-      "Ideal";
-      ideal "orig" None;
-      ideal "P&H" None;
-      ideal_range "Torr";
-      ideal_range "auto";
-      ideal_range "ops";
-      bw_cell (find rows ~layout:"orig" ~cache_kb:0 ~cfa_kb:None ~variant:Tc_ideal);
-      tc_ideal_range ();
-    ];
+    ([ "Ideal"; ideal "orig" None; ideal "P&H" None ]
+    @ List.map ideal_range cfa_names
+    @ [
+        bw_cell
+          (find rows ~layout:"orig" ~cache_kb:0 ~cfa_kb:None ~variant:Tc_ideal);
+        tc_ideal_range ();
+      ]);
   Tbl.add_rule t;
   let grid = grid_of rows in
   let last_group = List.length grid - 1 in
@@ -965,17 +991,22 @@ let print_table4 rows =
           in
           let cfa = Some cfa_kb in
           Tbl.add_row t
-            [
-              Printf.sprintf "%d/%d" cache_kb cfa_kb;
-              fixed "orig" Direct;
-              fixed "P&H" Direct;
-              bw_cell (find rows ~layout:"Torr" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              bw_cell (find rows ~layout:"auto" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              bw_cell (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Direct);
-              fixed "orig" Trace_cache;
-              bw_cell
-                (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa ~variant:Trace_cache);
-            ])
+            ([
+               Printf.sprintf "%d/%d" cache_kb cfa_kb;
+               fixed "orig" Direct;
+               fixed "P&H" Direct;
+             ]
+            @ List.map
+                (fun layout ->
+                  bw_cell
+                    (find rows ~layout ~cache_kb ~cfa_kb:cfa ~variant:Direct))
+                cfa_names
+            @ [
+                fixed "orig" Trace_cache;
+                bw_cell
+                  (find rows ~layout:"ops" ~cache_kb ~cfa_kb:cfa
+                     ~variant:Trace_cache);
+              ]))
         cfas;
       if gi < last_group then Tbl.add_rule t)
     grid;
@@ -1010,6 +1041,7 @@ let ablation_gen ~ctx ?(streamed = false) ?(fused = true) ~cache_kb
     ~exec_thresholds ~branch_thresholds ~cfa_kbs (pl : Pipeline.t) =
   let profile = pl.Pipeline.profile in
   let cached_layout = layout_cache ~ctx pl in
+  let ops_algo = algo_exn "ops" in
   (* serial prefix: one ops layout per sweep point *)
   let metas = ref [] and cells = ref [] in
   List.iter
@@ -1030,18 +1062,7 @@ let ablation_gen ~ctx ?(streamed = false) ?(fused = true) ~cache_kb
                   ~cfa_bytes:(a_cfa_kb * 1024)
               in
               let ops =
-                Run.span ctx "layout-stc" (fun () ->
-                    cached_layout ~algo:"stc-ops"
-                      ~params:
-                        [
-                          string_of_int a_exec;
-                          string_of_float a_branch;
-                          string_of_int (cache_kb * 1024);
-                          string_of_int (a_cfa_kb * 1024);
-                        ]
-                      (fun () ->
-                        L.Stc.layout profile ~name:"ops" ~params
-                          ~seeds:(L.Stc.ops_seeds profile)))
+                build_layout ~ctx ~cached_layout profile ops_algo params
               in
               metas := (a_exec, a_branch, a_cfa_kb) :: !metas;
               cells :=

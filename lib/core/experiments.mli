@@ -58,7 +58,10 @@ val variant_name : variant -> string
     "trace-cache", "tc-ideal"), used in JSONL cell records. *)
 
 type row = {
-  layout : string;  (** "orig", "P&H", "Torr", "auto", "ops". *)
+  layout : string;
+      (** A {!Stc_layout.Algo} registry name: "orig" and "P&H" for the
+          baselines, then the CFA-family algorithms selected for the
+          grid ("Torr", "auto", "ops", "codestitcher", "exttsp", ...). *)
   cache_kb : int;
   cfa_kb : int option;  (** [None] when the layout has no CFA (orig, P&H). *)
   variant : variant;
@@ -72,17 +75,35 @@ val row_to_string : row -> string
 (** One stable, locale-independent line per row ([%.6f] floats) — the
     golden-regression snapshot format of [tools/golden]. *)
 
+val resolve_layouts :
+  string list -> (Stc_layout.Algo.t list, string) result
+(** Resolve user-supplied [--layouts] names against the
+    {!Stc_layout.Algo} registry. Accepts names, slugs and aliases,
+    case-insensitively; [Error] carries a message naming the offender
+    and listing every valid choice. Baseline algorithms ("orig",
+    "P&H") are always simulated and may not be selected here — naming
+    one is an [Error] saying so. *)
+
 val simulate :
   ?ctx:Run.ctx ->
   ?config:sim_config ->
   ?streamed:bool ->
   ?fused:bool ->
+  ?layouts:string list ->
   Pipeline.t ->
   row list
 (** Run every configuration of Tables 3 and 4 once over the Test trace
     (each row is one trace-driven simulation). Layout construction is a
     serial prefix; the cells then run on [ctx.jobs] domains ([1] =
     in-process serial, the default).
+
+    [?layouts] selects which CFA-family algorithms populate the per-CFA
+    rows (default: every registered one, in registration order — see
+    {!Stc_layout.Algo.all}). Names are resolved as in
+    {!resolve_layouts}; an unknown name raises [Invalid_argument] with
+    the same message. The "orig" and "P&H" baseline rows are always
+    present. The trace-cache rows of Table 4 appear only when "ops" is
+    selected (they are defined over the ops layout).
 
     By default ([~fused:true]) cells sharing a layout replay as one
     {!Stc_fetch.Engine.Bank} sweep over that layout's trace — the packed

@@ -183,10 +183,15 @@ let oltp ?(ctx = Run.default) ?(train_txns = 300) ?(test_txns = 600)
       o_ibt = r.F.Engine.instrs_between_taken;
     }
   in
+  let ph =
+    match L.Algo.find "P&H" with Ok a -> a | Error msg -> invalid_arg msg
+  in
   let rows =
     [
       run (L.Original.layout pl.Pipeline.program);
-      run (L.Pettis_hansen.layout profile);
+      run
+        (L.Algo.layout ph profile
+           (L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 ()));
       run
         (stc_layout profile ~cache_kb ~cfa_kb:4 ~name:"auto"
            ~seeds:(L.Stc.auto_seeds profile));

@@ -1,0 +1,219 @@
+module Profile = Stc_profile.Profile
+module Program = Stc_cfg.Program
+module Block = Stc_cfg.Block
+
+(* ExtTSP-style block reordering (Ottoni & Maher, "Optimizing function
+   placement for large-scale data-center applications"; Newell & Pupyrev,
+   "Improved basic block reordering", IEEE TC 2020 — the model behind
+   LLVM's BOLT). The layout score of an edge src -> dst with weight w is
+
+     w               if dst falls through from src,
+     w * 0.1 * (1 - d / 1024)   for a forward jump of d <= 1024 bytes,
+     w * 0.1 * (1 - d / 640)    for a backward jump of d <= 640 bytes,
+     0               otherwise,
+
+   and chains merge greedily by the score gain of concatenation. Scores
+   of edges internal to a chain are invariant under concatenation (only
+   relative distances matter), so a merge's gain is exactly the score of
+   the cross edges between the two chains — edges between unmerged
+   chains have no defined distance and score 0. *)
+
+let fallthrough_weight = 1.0
+
+let jump_weight = 0.1
+
+let forward_window = 1024
+
+let backward_window = 640
+
+let edge_score ~src_end ~dst w =
+  if dst = src_end then fallthrough_weight *. float_of_int w
+  else if dst > src_end then begin
+    let d = dst - src_end in
+    if d <= forward_window then
+      jump_weight *. float_of_int w
+      *. (1.0 -. (float_of_int d /. float_of_int forward_window))
+    else 0.0
+  end
+  else begin
+    let d = src_end - dst in
+    if d <= backward_window then
+      jump_weight *. float_of_int w
+      *. (1.0 -. (float_of_int d /. float_of_int backward_window))
+    else 0.0
+  end
+
+type chain = {
+  mutable blocks : int list;
+  mutable bytes : int;
+  mutable weight : int;
+  mutable anchor : int;  (* smallest block id: deterministic tie-break *)
+}
+
+type state = {
+  prog : Program.t;
+  chain_of : int array;  (* block -> chain root, -1 for cold blocks *)
+  chains : (int, chain) Hashtbl.t;
+  offset : int array;  (* block -> byte offset within its chain *)
+}
+
+let block_bytes st b = Block.byte_size st.prog.Program.blocks.(b)
+
+(* Offsets of [root]'s blocks are kept current so cross-edge distances
+   are O(1) per edge during gain evaluation. *)
+let refresh_offsets st root =
+  let c = Hashtbl.find st.chains root in
+  let cursor = ref 0 in
+  List.iter
+    (fun b ->
+      st.offset.(b) <- !cursor;
+      cursor := !cursor + block_bytes st b)
+    c.blocks
+
+(* Score of the cross edges when [ra]'s chain is laid out immediately
+   before [rb]'s. [edges] are the cross edges between the two chains, in
+   a canonical order so the float sum is reproducible. *)
+let orientation_gain st ra edges =
+  let a = Hashtbl.find st.chains ra in
+  List.fold_left
+    (fun acc (src, dst, w) ->
+      let src_in_a = st.chain_of.(src) = ra in
+      let src_pos =
+        if src_in_a then st.offset.(src) else a.bytes + st.offset.(src)
+      in
+      let dst_pos =
+        if st.chain_of.(dst) = ra then st.offset.(dst)
+        else a.bytes + st.offset.(dst)
+      in
+      acc +. edge_score ~src_end:(src_pos + block_bytes st src) ~dst:dst_pos w)
+    0.0 edges
+
+let merge st ~into:ra rb =
+  let a = Hashtbl.find st.chains ra and b = Hashtbl.find st.chains rb in
+  a.blocks <- a.blocks @ b.blocks;
+  a.bytes <- a.bytes + b.bytes;
+  a.weight <- a.weight + b.weight;
+  a.anchor <- min a.anchor b.anchor;
+  List.iter (fun blk -> st.chain_of.(blk) <- ra) b.blocks;
+  Hashtbl.remove st.chains rb;
+  refresh_offsets st ra
+
+let init_state profile =
+  let prog = Profile.program profile in
+  let counts = Profile.counts profile in
+  let n = Array.length prog.Program.blocks in
+  let st =
+    {
+      prog;
+      chain_of = Array.make n (-1);
+      chains = Hashtbl.create 256;
+      offset = Array.make n 0;
+    }
+  in
+  Array.iteri
+    (fun b c ->
+      if c > 0 then begin
+        st.chain_of.(b) <- b;
+        Hashtbl.replace st.chains b
+          {
+            blocks = [ b ];
+            bytes = Block.byte_size prog.Program.blocks.(b);
+            weight = c;
+            anchor = b;
+          }
+      end)
+    counts;
+  st
+
+(* Profiled transitions between distinct executed blocks in canonical
+   (src, dst) order — the one order every float accumulation below uses. *)
+let sorted_edges profile =
+  let counts = Profile.counts profile in
+  let edges = ref [] in
+  Profile.iter_edges profile (fun ~src ~dst ~count ->
+      if count > 0 && src <> dst && counts.(src) > 0 && counts.(dst) > 0 then
+        edges := (src, dst, count) :: !edges);
+  List.sort compare !edges
+
+(* One greedy round: group the surviving cross edges by chain pair,
+   evaluate both orientations of every connected pair, and take the best
+   positive-gain merge. Returns [false] once no merge improves the
+   score. *)
+let merge_round st edges =
+  let by_pair = Hashtbl.create 256 in
+  let pair_order = ref [] in
+  List.iter
+    (fun (src, dst, w) ->
+      let ra = st.chain_of.(src) and rb = st.chain_of.(dst) in
+      if ra >= 0 && rb >= 0 && ra <> rb then begin
+        let key = (min ra rb, max ra rb) in
+        match Hashtbl.find_opt by_pair key with
+        | Some l -> l := (src, dst, w) :: !l
+        | None ->
+          Hashtbl.replace by_pair key (ref [ (src, dst, w) ]);
+          pair_order := key :: !pair_order
+      end)
+    edges;
+  let best = ref None in
+  let consider gain ra rb =
+    (* strict improvement on ties keeps the first (canonically smallest)
+       candidate, making the choice order-independent *)
+    match !best with
+    | Some (g, _, _) when g >= gain -> ()
+    | _ -> if gain > 0.0 then best := Some (gain, ra, rb)
+  in
+  List.iter
+    (fun (ra, rb) ->
+      let cross = List.rev !(Hashtbl.find by_pair (ra, rb)) in
+      consider (orientation_gain st ra cross) ra rb;
+      consider (orientation_gain st rb cross) rb ra)
+    (List.rev !pair_order);
+  match !best with
+  | None -> false
+  | Some (_, ra, rb) ->
+    merge st ~into:ra rb;
+    true
+
+let ordered_chains st =
+  Hashtbl.fold (fun _ c acc -> c :: acc) st.chains []
+  |> List.sort (fun c1 c2 ->
+         if c1.weight <> c2.weight then compare c2.weight c1.weight
+         else compare c1.anchor c2.anchor)
+  |> List.map (fun c -> c.blocks)
+
+(* Chain construction depends only on the profile; the grid asks for one
+   plan per (cache, CFA) point, so memoize for the profile last seen.
+   Runs in the grid's serial prefix — no locking needed. *)
+let memo : (Profile.t * int list list) option ref = ref None
+
+let chains profile =
+  match !memo with
+  | Some (p, chains) when p == profile -> chains
+  | _ ->
+    let st = init_state profile in
+    let edges = sorted_edges profile in
+    while merge_round st edges do
+      ()
+    done;
+    let result = ordered_chains st in
+    memo := Some (profile, result);
+    result
+
+let plan profile ~cfa_bytes =
+  let prog = Profile.program profile in
+  let counts = Profile.counts profile in
+  let chains = chains profile in
+  let cfa_seqs, other_seqs = Mapping.fit_cfa prog ~cfa_bytes chains in
+  let cold = ref [] in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun bid -> if counts.(bid) = 0 then cold := bid :: !cold)
+        p.Stc_cfg.Proc.blocks)
+    prog.Program.procs;
+  { Mapping.cfa_seqs; other_seqs; cold = List.rev !cold }
+
+let layout profile ~cache_bytes ~cfa_bytes =
+  Mapping.map_plan (Profile.program profile) ~name:"exttsp" ~cache_bytes
+    ~cfa_bytes
+    (plan profile ~cfa_bytes)

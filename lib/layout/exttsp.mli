@@ -1,0 +1,28 @@
+(** ExtTSP-style block reordering (Newell & Pupyrev, IEEE TC 2020 — the
+    score behind LLVM BOLT's basic-block layout).
+
+    An edge scores its full weight when the destination falls through
+    from the source, a decaying tenth of it for short forward
+    (≤ 1024 B) or backward (≤ 640 B) jumps, and nothing otherwise.
+    Executed blocks start as singleton chains; each greedy round merges
+    the connected chain pair (in its better orientation) with the
+    largest positive score gain — the gain of a concatenation is exactly
+    the score of the cross edges, since intra-chain distances are
+    invariant — until no merge improves the score. The hottest finished
+    chains are pinned into the Conflict-Free Area. *)
+
+val edge_score : src_end:int -> dst:int -> int -> float
+(** Score of one edge of the given weight, with the source's end byte
+    and the destination's start byte (exposed for tests). *)
+
+val chains : Stc_profile.Profile.t -> int list list
+(** The finished chains, hottest first (exposed for tests). Memoized for
+    the profile last seen; call only from serial code. *)
+
+val plan : Stc_profile.Profile.t -> cfa_bytes:int -> Mapping.plan
+(** Hot chains split into CFA residents and the rest ({!Mapping.fit_cfa});
+    never-executed blocks in original textual order as the cold part. *)
+
+val layout :
+  Stc_profile.Profile.t -> cache_bytes:int -> cfa_bytes:int -> Layout.t
+(** {!plan} → {!Mapping.map_plan}. *)

@@ -1,9 +1,15 @@
 module Program = Stc_cfg.Program
 module Proc = Stc_cfg.Proc
 
-let layout prog =
-  let order =
-    Array.concat
-      (Array.to_list (Array.map (fun p -> p.Proc.blocks) prog.Program.procs))
-  in
-  Layout.of_block_order prog ~name:"orig" order
+let block_order prog =
+  Array.concat
+    (Array.to_list (Array.map (fun p -> p.Proc.blocks) prog.Program.procs))
+
+let plan prog =
+  {
+    Mapping.cfa_seqs = [];
+    other_seqs = [ Array.to_list (block_order prog) ];
+    cold = [];
+  }
+
+let layout prog = Layout.of_block_order prog ~name:"orig" (block_order prog)

@@ -1,4 +1,9 @@
 (** The original ("orig") layout: procedures in program order, blocks in
     textual order — the addresses the compiler produced. *)
 
+val plan : Stc_cfg.Program.t -> Mapping.plan
+(** The same textual order as one sequence and no CFA; mapped with
+    [cfa_bytes = 0] it reproduces {!layout}'s addresses exactly (the
+    registry route used by {!Algo}). *)
+
 val layout : Stc_cfg.Program.t -> Layout.t

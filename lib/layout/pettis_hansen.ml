@@ -172,7 +172,7 @@ let proc_order profile =
 
 (* ---------- full layout ---------- *)
 
-let layout profile =
+let hot_and_fluff profile =
   let prog = Profile.program profile in
   let order = proc_order profile in
   let hot_blocks = ref [] and fluff_blocks = ref [] in
@@ -182,6 +182,14 @@ let layout profile =
       hot_blocks := List.rev_append hot !hot_blocks;
       fluff_blocks := List.rev_append fluff !fluff_blocks)
     order;
+  (List.rev !hot_blocks, List.rev !fluff_blocks)
+
+let plan profile =
+  let hot, fluff = hot_and_fluff profile in
+  { Mapping.cfa_seqs = []; other_seqs = [ hot ]; cold = fluff }
+
+let layout profile =
+  let prog = Profile.program profile in
+  let hot, fluff = hot_and_fluff profile in
   (* hot code first, then the split-away fluff section *)
-  let final = List.rev !hot_blocks @ List.rev !fluff_blocks in
-  Layout.of_block_order prog ~name:"P&H" (Array.of_list final)
+  Layout.of_block_order prog ~name:"P&H" (Array.of_list (hot @ fluff))

@@ -10,6 +10,11 @@
     As the paper notes, the algorithm does not use the target cache
     geometry. *)
 
+val plan : Stc_profile.Profile.t -> Mapping.plan
+(** The hot chain order as one sequence, the fluff as the cold section,
+    no CFA; mapped with [cfa_bytes = 0] it reproduces {!layout}'s
+    addresses exactly (the registry route used by {!Algo}). *)
+
 val layout : Stc_profile.Profile.t -> Layout.t
 
 val proc_order : Stc_profile.Profile.t -> int array

@@ -805,6 +805,20 @@ module Fp = struct
     let addr = l.Stc_layout.Layout.addr in
     Fnv.to_hex (Fnv.ints (Fnv.int Fnv.empty (Array.length addr)) addr)
 
+  (* The algorithm identity AND its full parameter record: two registered
+     algorithms given identical profiles — or one algorithm at two grid
+     points — can never collide on a cached layout artifact. *)
+  let layout_algo ~algo (p : Stc_layout.Algo.params) =
+    let h = Fnv.string (Fnv.int Fnv.empty (String.length algo)) algo in
+    let h = Fnv.int h p.Stc_layout.Algo.seq.Stc_layout.Seqbuild.exec_threshold in
+    let h =
+      Fnv.int64 h
+        (Int64.bits_of_float p.Stc_layout.Algo.seq.Stc_layout.Seqbuild.branch_threshold)
+    in
+    let h = Fnv.int h p.Stc_layout.Algo.cache_bytes in
+    let h = Fnv.int h p.Stc_layout.Algo.cfa_bytes in
+    Fnv.to_hex h
+
   let trace r =
     let h = Fnv.int64 Fnv.empty (Recorder.hash r) in
     let h =

@@ -255,6 +255,12 @@ module Fp : sig
   (** The address array only — two layouts that place every block
       identically share downstream artifacts regardless of name. *)
 
+  val layout_algo : algo:string -> Stc_layout.Algo.params -> string
+  (** A layout-construction key part: the algorithm identity (its
+      registry slug) plus every field of its parameter record, so two
+      algorithms fed the same profile — or one algorithm at two grid
+      points — can never collide on a cached layout artifact. *)
+
   val trace : Stc_trace.Recorder.t -> string
   (** The recorded ids ({!Stc_trace.Recorder.hash}) plus the marks. *)
 

@@ -34,46 +34,106 @@ let fail_violations name = function
       (List.length vs)
       (C.Layouts.violation_to_string v)
 
-(* Every layout algorithm, randomized programs, zero violations. *)
+let check_params =
+  L.Algo.params ~cache_bytes:check_cache_bytes ~cfa_bytes:check_cfa_bytes ()
+
+(* Every registered layout algorithm round-trips name -> plan -> clean
+   validation on randomized programs: registering a new algorithm makes
+   it subject to this property without touching the test. *)
 let prop_layouts_valid =
-  QCheck.Test.make ~name:"layout algorithms produce zero violations"
+  QCheck.Test.make ~name:"registered algorithms produce zero violations"
     ~count:40
     QCheck.(make gen_skeleton)
     (fun skel ->
       let prog, rec_ = trace_of_skeleton skel in
       let profile = profile_of prog rec_ in
-      fail_violations "orig"
-        (C.Layouts.all profile (L.Original.layout prog));
-      fail_violations "P&H"
-        (C.Layouts.all profile (L.Pettis_hansen.layout profile));
-      let torr_plan =
-        L.Torrellas.plan profile ~seq_params:L.Seqbuild.default_params
-          ~cfa_bytes:check_cfa_bytes
-      in
-      let torr =
-        L.Mapping.map_plan prog ~name:"torr" ~cache_bytes:check_cache_bytes
-          ~cfa_bytes:check_cfa_bytes torr_plan
-      in
-      fail_violations "Torr"
-        (C.Layouts.all
-           ~cfa_plan:(torr_plan, check_cache_bytes, check_cfa_bytes)
-           profile torr);
-      let params =
-        L.Stc.params ~cache_bytes:check_cache_bytes
-          ~cfa_bytes:check_cfa_bytes ()
-      in
-      let stc_plan =
-        L.Stc.plan profile ~params ~seeds:(L.Stc.auto_seeds profile)
-      in
-      let stc =
-        L.Mapping.map_plan prog ~name:"auto" ~cache_bytes:check_cache_bytes
-          ~cfa_bytes:check_cfa_bytes stc_plan
-      in
-      fail_violations "auto"
-        (C.Layouts.all
-           ~cfa_plan:(stc_plan, check_cache_bytes, check_cfa_bytes)
-           profile stc);
+      List.iter
+        (fun algo ->
+          match L.Algo.find algo.L.Algo.name with
+          | Error msg ->
+            QCheck.Test.fail_reportf "%s not found by name: %s"
+              algo.L.Algo.name msg
+          | Ok algo ->
+            let plan = L.Algo.plan algo profile check_params in
+            let cfa_bytes = L.Algo.effective_cfa_bytes algo check_params in
+            let layout =
+              L.Mapping.map_plan prog ~name:algo.L.Algo.name
+                ~cache_bytes:check_cache_bytes ~cfa_bytes plan
+            in
+            fail_violations algo.L.Algo.name
+              (C.Layouts.all
+                 ~cfa_plan:(plan, check_cache_bytes, cfa_bytes)
+                 profile layout))
+        (L.Algo.all ());
       true)
+
+(* The imported comparators' plans must partition the whole program:
+   every block placed exactly once across CFA sequences, second-pass
+   sequences and the cold tail. *)
+let prop_new_algos_place_all =
+  QCheck.Test.make
+    ~name:"codestitcher and exttsp place every block exactly once" ~count:40
+    QCheck.(make gen_skeleton)
+    (fun skel ->
+      let prog, rec_ = trace_of_skeleton skel in
+      let profile = profile_of prog rec_ in
+      let check name (plan : L.Mapping.plan) =
+        let n = Array.length prog.Stc_cfg.Program.blocks in
+        let times = Array.make n 0 in
+        List.iter
+          (List.iter (fun b -> times.(b) <- times.(b) + 1))
+          (plan.L.Mapping.cfa_seqs @ plan.L.Mapping.other_seqs
+         @ [ plan.L.Mapping.cold ]);
+        Array.iteri
+          (fun b t ->
+            if t <> 1 then
+              QCheck.Test.fail_reportf "%s: block %d placed %d times" name b
+                t)
+          times
+      in
+      check "codestitcher"
+        (L.Codestitcher.plan profile ~cfa_bytes:check_cfa_bytes);
+      check "exttsp" (L.Exttsp.plan profile ~cfa_bytes:check_cfa_bytes);
+      true)
+
+(* ---------- the registry itself ---------- *)
+
+let test_registry_find () =
+  (* names, slugs and aliases all resolve, case-insensitively *)
+  List.iter
+    (fun (query, expect) ->
+      match L.Algo.find query with
+      | Ok a -> Alcotest.(check string) query expect a.L.Algo.name
+      | Error msg -> Alcotest.failf "find %S: %s" query msg)
+    [
+      ("orig", "orig");
+      ("ORIG", "orig");
+      ("original", "orig");
+      ("P&H", "P&H");
+      ("ph", "P&H");
+      ("pettis-hansen", "P&H");
+      ("Torr", "Torr");
+      ("stc", "ops");
+      ("stc-auto", "auto");
+      ("Codestitcher", "codestitcher");
+      ("cs", "codestitcher");
+      ("ext-tsp", "exttsp");
+    ];
+  (* an unknown name fails with the valid names spelled out *)
+  match L.Algo.find "hotcold9000" with
+  | Ok a -> Alcotest.failf "bogus name resolved to %s" a.L.Algo.name
+  | Error msg ->
+    let contains s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun name ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error lists %s" name)
+          true (contains msg name))
+      (L.Algo.names ())
 
 (* ---------- corruption is detected ---------- *)
 
@@ -258,6 +318,8 @@ let suite =
     Alcotest.test_case "detects malformed plans" `Quick test_detects_bad_plan;
     Alcotest.test_case "oracle icache matches real icache" `Quick
       test_oracle_icache_stream;
+    Alcotest.test_case "algorithm registry lookup" `Quick test_registry_find;
     QCheck_alcotest.to_alcotest prop_layouts_valid;
+    QCheck_alcotest.to_alcotest prop_new_algos_place_all;
     QCheck_alcotest.to_alcotest prop_oracle_engines_agree;
   ]

@@ -352,7 +352,14 @@ let test_packed_naive_engine_equal () =
               && F.Tracecache.hits a = F.Tracecache.hits b)
           | _ -> ())
         variants)
-    [ L.Original.layout prog; L.Pettis_hansen.layout pl.Stc_core.Pipeline.profile ]
+    [
+      L.Original.layout prog;
+      (match L.Algo.find "P&H" with
+      | Ok a ->
+        L.Algo.layout a pl.Stc_core.Pipeline.profile
+          (L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 ())
+      | Error msg -> Alcotest.fail msg);
+    ]
 
 let test_engine_run_equals_run_packed () =
   (* the convenience [run view] must be the packed path, byte for byte *)

@@ -81,11 +81,18 @@ let test_original_is_textual () =
       done)
     prog.Program.procs
 
-let test_ph_valid () = check_valid (program ()) (L.Pettis_hansen.layout (profile ()))
+let registry_algo name =
+  match L.Algo.find name with Ok a -> a | Error msg -> Alcotest.fail msg
+
+let ph_layout profile =
+  L.Algo.layout (registry_algo "P&H") profile
+    (L.Algo.params ~cache_bytes:0 ~cfa_bytes:0 ())
+
+let test_ph_valid () = check_valid (program ()) (ph_layout (profile ()))
 
 let test_ph_fluff_last () =
   let profile = profile () in
-  let layout = L.Pettis_hansen.layout profile in
+  let layout = ph_layout profile in
   let counts = P.Profile.counts profile in
   (* every never-executed block sits above every executed block *)
   let max_hot = ref 0 and min_cold = ref max_int in
@@ -116,9 +123,7 @@ let test_stc_valid () =
 let test_torrellas_valid () =
   let prog = program () and profile = profile () in
   let params = stc_params ~cache_bytes:16384 ~cfa_bytes:4096 in
-  check_valid prog
-    (L.Torrellas.layout profile ~seq_params:params.L.Stc.seq
-       ~cache_bytes:16384 ~cfa_bytes:4096)
+  check_valid prog (L.Algo.layout (registry_algo "Torr") profile params)
 
 (* CFA exclusivity: only first-pass (CFA) code may live below cfa_bytes in
    cache-offset space, except cold filler allowed in later logical

@@ -2,7 +2,7 @@
    outputs and diff them against committed snapshots.
 
      golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]
-            [--no-fuse]
+            [--no-fuse] [--layouts CSV]
 
    One quick pipeline run (seeded, default 1) produces three artifacts:
 
@@ -25,6 +25,11 @@
    shared: streaming and fusing are both required to be byte-identical,
    so the same golden/ directory checks every path.
 
+   --layouts CSV restricts the per-CFA grid rows to the named layout
+   algorithms (Stc_layout.Algo registry names; default all). The
+   committed snapshots are generated with the default, so pass it only
+   against a matching --golden directory.
+
    Exit codes: 0 clean, 1 drift, 2 usage/missing-snapshot error. *)
 
 module E = Stc_core.Experiments
@@ -35,7 +40,7 @@ module Obs = Stc_obs
 let usage () =
   prerr_endline
     "usage: golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream] \
-     [--no-fuse]";
+     [--no-fuse] [--layouts CSV]";
   exit 2
 
 let parse_args () =
@@ -44,7 +49,8 @@ let parse_args () =
   and jobs = ref 1
   and seed = ref 1
   and streamed = ref false
-  and fused = ref true in
+  and fused = ref true
+  and layouts = ref None in
   let rec go = function
     | [] -> ()
     | "--update" :: rest ->
@@ -65,10 +71,22 @@ let parse_args () =
     | "--seed" :: v :: rest ->
       (match int_of_string_opt v with Some s -> seed := s | _ -> usage ());
       go rest
+    | "--layouts" :: v :: rest ->
+      let names =
+        String.split_on_char ',' v
+        |> List.map String.trim
+        |> List.filter (fun s -> s <> "")
+      in
+      (match E.resolve_layouts names with
+      | Ok _ -> layouts := Some names
+      | Error msg ->
+        Printf.eprintf "golden: %s\n" msg;
+        usage ());
+      go rest
     | _ -> usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
-  (!update, !dir, !jobs, !seed, !streamed, !fused)
+  (!update, !dir, !jobs, !seed, !streamed, !fused, !layouts)
 
 let write_lines path lines =
   let oc = open_out path in
@@ -113,7 +131,7 @@ let diff_lines ~name golden current =
   go 1 golden current
 
 let () =
-  let update, dir, jobs, seed, streamed, fused = parse_args () in
+  let update, dir, jobs, seed, streamed, fused, layouts = parse_args () in
   let reg = Obs.Registry.create () in
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_seed seed
@@ -121,7 +139,7 @@ let () =
   in
   let pl = Pipeline.run ~ctx ~config:Pipeline.quick_config () in
   let sim_lines =
-    List.map E.row_to_string (E.simulate ~ctx ~streamed ~fused pl)
+    List.map E.row_to_string (E.simulate ~ctx ~streamed ~fused ?layouts pl)
   in
   let abl_lines =
     List.map E.ablation_row_to_string (E.ablation ~ctx ~streamed ~fused pl)
