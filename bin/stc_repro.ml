@@ -300,6 +300,43 @@ let simulate_term =
 let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc:"Section 7: Table 3 and Table 4.") simulate_term
 
+let extended_cmd =
+  let run quick sf seed frames jobs store exec branch streamed no_fuse layouts
+      metrics trace progress =
+    let layouts = parse_layouts layouts in
+    let reg = Obs.Registry.create () in
+    check_metrics_path metrics;
+    check_out_path "trace" trace;
+    let tracer = make_tracer trace in
+    let ctx = make_ctx reg progress seed jobs store tracer in
+    let pl = setup ~ctx quick sf frames in
+    Printf.printf
+      "Simulating the extended policy/prefetch grid (%d jobs)...\n%!"
+      ctx.Run.jobs;
+    let t0 = Unix.gettimeofday () in
+    let rows =
+      E.extended ~ctx ~config:(sim_config exec branch) ~streamed
+        ~fused:(not no_fuse) ?layouts pl
+    in
+    Printf.printf "%d simulations in %.1fs.\n\n%!" (List.length rows)
+      (Unix.gettimeofday () -. t0);
+    E.print_extended rows;
+    report_store reg store;
+    finish_metrics reg metrics;
+    finish_trace tracer trace
+  in
+  Cmd.v
+    (Cmd.info "extended"
+       ~doc:
+         "Post-paper hardware grid: replacement policy (LRU, SRRIP, \
+          TRRIP) crossed with fetch-directed prefetching over the first \
+          two cache sizes, 4-way set-associative, per layout. TRRIP's \
+          per-line temperatures come from each layout's own hotness.")
+    Term.(
+      const run $ quick_arg $ sf_arg $ seed_arg $ frames_arg $ jobs_arg
+      $ store_arg $ exec_arg $ branch_arg $ stream_arg $ no_fuse_arg
+      $ layouts_arg $ metrics_arg $ trace_arg $ progress_arg)
+
 let ablation_cmd =
   let run quick sf seed frames jobs store streamed no_fuse metrics trace
       progress =
@@ -459,6 +496,7 @@ let () =
           [
             characterize_cmd;
             simulate_cmd;
+            extended_cmd;
             ablation_cmd;
             extensions_cmd;
             check_cmd;

@@ -1,25 +1,46 @@
 module Bits = Stc_util.Bits
 module Counter = Stc_obs.Metric.Counter
 
+(* Replacement policies. [Lru] is the paper's machine and keeps the exact
+   historical code path; the RRIP family (Srrip, and Trrip seeded with a
+   static per-line temperature) is the modern-replacement extension.
+
+   RRIP state is a 2-bit re-reference prediction value (RRPV) per way:
+   0 = re-reference expected soonest, 3 = longest. A hit resets the
+   way's RRPV to 0; a miss victimizes a way at RRPV 3 (aging every way
+   uniformly until one reaches 3). Ties among RRPV-3 ways are broken by
+   installation age — the oldest-installed way loses — so the stamps
+   array doubles as install order under RRIP (hits do not touch it),
+   and the list-based oracle in Stc_check can reproduce the choice
+   without mirroring way indices. *)
+type policy = Lru | Srrip | Trrip of int array
+
+let rrpv_max = 3
+
 type t = {
   assoc : int;
   line_bits : int;
   n_sets : int;
   set_mask : int;
   size : int;
+  policy : policy;
   tags : int array; (* set * assoc + way -> line number, -1 invalid *)
-  stamps : int array; (* LRU timestamps, parallel to tags *)
+  stamps : int array; (* LRU recency / RRIP install stamps, parallel *)
+  rrpv : int array; (* RRIP re-reference values, parallel to tags *)
+  pref : bool array; (* prefetched-and-not-yet-demanded marks *)
   v_tags : int array; (* victim buffer, -1 invalid *)
   v_stamps : int array;
   mutable clock : int;
   accesses : Counter.t;
   misses : Counter.t;
   victim_hits : Counter.t;
+  evictions : Counter.t;
 }
 
 type stats = { s_accesses : int; s_misses : int; s_victim_hits : int }
 
-let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ~size_bytes () =
+let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ?(policy = Lru)
+    ~size_bytes () =
   if assoc < 1 then invalid_arg "Icache.create: assoc must be >= 1";
   if not (Bits.is_pow2 line_bytes) then
     invalid_arg "Icache.create: line_bytes must be a power of two";
@@ -28,31 +49,46 @@ let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0) ~size_bytes () =
   let n_sets = size_bytes / (assoc * line_bytes) in
   if not (Bits.is_pow2 n_sets) then
     invalid_arg "Icache.create: set count must be a power of two";
+  (match policy with
+  | Trrip temps ->
+    Array.iter
+      (fun t ->
+        if t < 0 then invalid_arg "Icache.create: negative temperature")
+      temps
+  | Lru | Srrip -> ());
   {
     assoc;
     line_bits = Bits.log2_exact line_bytes;
     n_sets;
     set_mask = n_sets - 1;
     size = size_bytes;
+    policy;
     tags = Array.make (n_sets * assoc) (-1);
     stamps = Array.make (n_sets * assoc) 0;
+    rrpv = Array.make (n_sets * assoc) 0;
+    pref = Array.make (n_sets * assoc) false;
     v_tags = Array.make victim_lines (-1);
     v_stamps = Array.make victim_lines 0;
     clock = 0;
     accesses = Counter.make "accesses";
     misses = Counter.make "misses";
     victim_hits = Counter.make "victim_hits";
+    evictions = Counter.make "evictions";
   }
 
 let line_bytes t = 1 lsl t.line_bits
 
 let size_bytes t = t.size
 
+let policy t = t.policy
+
 let accesses t = Counter.value t.accesses
 
 let misses t = Counter.value t.misses
 
 let victim_hits t = Counter.value t.victim_hits
+
+let evictions t = Counter.value t.evictions
 
 let stats t =
   {
@@ -64,15 +100,28 @@ let stats t =
 let attach_metrics t reg ~prefix =
   Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.accesses;
   Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.misses;
-  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg t.victim_hits
+  Stc_obs.Registry.attach_counter ~prefix:(prefix ^ "icache.") reg
+    t.victim_hits;
+  (* only non-LRU policies track evictions, so registering the counter
+     conditionally keeps the export of every pre-existing configuration
+     byte-identical *)
+  match t.policy with
+  | Lru -> ()
+  | Srrip | Trrip _ ->
+    Stc_obs.Registry.attach_counter
+      ~prefix:(prefix ^ "icache.replacement.")
+      reg t.evictions
 
 let reset_stats t =
   Counter.reset t.accesses;
   Counter.reset t.misses;
-  Counter.reset t.victim_hits
+  Counter.reset t.victim_hits;
+  Counter.reset t.evictions
 
 let flush t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.rrpv 0 (Array.length t.rrpv) 0;
+  Array.fill t.pref 0 (Array.length t.pref) false;
   Array.fill t.v_tags 0 (Array.length t.v_tags) (-1);
   t.clock <- 0;
   reset_stats t
@@ -111,6 +160,71 @@ let victim_swap t line evicted =
 
 type outcome = Hit | Victim_hit | Miss
 
+(* Victim-way selection for a full (or partially invalid) set. LRU keeps
+   the historical single loop (invalid slot, else minimum stamp); RRIP
+   first reuses an invalid way, else ages every way until the maximum
+   RRPV reaches 3 and evicts the oldest-installed way standing there. *)
+let choose_way t base =
+  match t.policy with
+  | Lru ->
+    let way = ref 0 in
+    for w = 1 to t.assoc - 1 do
+      if
+        t.tags.(base + w) = -1
+        || (t.tags.(base + !way) <> -1
+            && t.stamps.(base + w) < t.stamps.(base + !way))
+      then way := w
+    done;
+    !way
+  | Srrip | Trrip _ ->
+    let way = ref (-1) in
+    for w = 0 to t.assoc - 1 do
+      if t.tags.(base + w) = -1 then way := w
+    done;
+    if !way >= 0 then !way
+    else begin
+      let m = ref 0 in
+      for w = 0 to t.assoc - 1 do
+        if t.rrpv.(base + w) > !m then m := t.rrpv.(base + w)
+      done;
+      let boost = rrpv_max - !m in
+      if boost > 0 then
+        for w = 0 to t.assoc - 1 do
+          t.rrpv.(base + w) <- t.rrpv.(base + w) + boost
+        done;
+      for w = 0 to t.assoc - 1 do
+        if
+          t.rrpv.(base + w) = rrpv_max
+          && (!way < 0 || t.stamps.(base + w) < t.stamps.(base + !way))
+        then way := w
+      done;
+      !way
+    end
+
+(* RRPV of a freshly demand-installed line: SRRIP predicts a long
+   re-reference interval for everything; TRRIP trusts the static
+   temperature hint (0 hot -> immediate, 1 warm -> long, colder ->
+   distant, as does any line past the end of the temperature table). *)
+let insert_rrpv t line =
+  match t.policy with
+  | Lru -> 0
+  | Srrip -> 2
+  | Trrip temps ->
+    let temp = if line < Array.length temps then temps.(line) else 2 in
+    if temp <= 0 then 0 else if temp = 1 then 2 else rrpv_max
+
+let install t base way line ~rrpv =
+  let evicted = t.tags.(base + way) in
+  (match t.policy with
+  | Lru -> ()
+  | Srrip | Trrip _ ->
+    if evicted <> -1 then Counter.incr t.evictions);
+  t.tags.(base + way) <- line;
+  t.stamps.(base + way) <- t.clock;
+  t.rrpv.(base + way) <- rrpv;
+  t.pref.(base + way) <- false;
+  evicted
+
 let access_uncounted t addr =
   t.clock <- t.clock + 1;
   let line = addr lsr t.line_bits in
@@ -121,33 +235,91 @@ let access_uncounted t addr =
     if t.tags.(base + w) = line then hit_way := w
   done;
   if !hit_way >= 0 then begin
-    t.stamps.(base + !hit_way) <- t.clock;
+    (match t.policy with
+    | Lru -> t.stamps.(base + !hit_way) <- t.clock
+    | Srrip | Trrip _ -> t.rrpv.(base + !hit_way) <- 0);
+    t.pref.(base + !hit_way) <- false;
     Hit
   end
   else begin
-    (* choose the victim way: an invalid slot, else LRU *)
-    let way = ref 0 in
-    for w = 1 to t.assoc - 1 do
-      if
-        t.tags.(base + w) = -1
-        || (t.tags.(base + !way) <> -1
-            && t.stamps.(base + w) < t.stamps.(base + !way))
-      then way := w
-    done;
-    let evicted = t.tags.(base + !way) in
-    t.tags.(base + !way) <- line;
-    t.stamps.(base + !way) <- t.clock;
+    let way = choose_way t base in
+    let evicted = install t base way line ~rrpv:(insert_rrpv t line) in
     if victim_swap t line evicted then Victim_hit else Miss
   end
 
-(* A direct-mapped cache without a victim buffer has one way per set and
-   no replacement or victim decision to make: neither [stamps] nor
-   [clock] can influence any future outcome, so a probe that skips both
-   is observationally identical to [access_uncounted] — same hit/miss
-   sequence, same final tag contents, same statistics. The fused replay
-   bank ({!Stc_fetch.Engine.Bank}) probes many caches per fetch cycle
-   and uses this to keep the common Table 3 configuration cheap. *)
-let plain_direct t = t.assoc = 1 && Array.length t.v_tags = 0
+(* [access_uncounted] plus prefetch-mark accounting: a hit that consumes
+   the way's mark reports [true] (the prefetch was useful). The FDIP
+   demand path is the only caller; the mark bookkeeping must mirror
+   [access_uncounted] exactly so that a prefetch-free run through either
+   entry point leaves identical state. *)
+let access_demand t addr =
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let base = set * t.assoc in
+  let hit_way = ref (-1) in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then hit_way := w
+  done;
+  if !hit_way >= 0 then begin
+    (match t.policy with
+    | Lru -> t.stamps.(base + !hit_way) <- t.clock
+    | Srrip | Trrip _ -> t.rrpv.(base + !hit_way) <- 0);
+    let was_pref = t.pref.(base + !hit_way) in
+    t.pref.(base + !hit_way) <- false;
+    (Hit, was_pref)
+  end
+  else begin
+    let way = choose_way t base in
+    let evicted = install t base way line ~rrpv:(insert_rrpv t line) in
+    ((if victim_swap t line evicted then Victim_hit else Miss), false)
+  end
+
+let mem t addr =
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let base = set * t.assoc in
+  let found = ref false in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then found := true
+  done;
+  !found
+
+(* Install a prefetched line: a no-op if already resident, else a normal
+   replacement-policy install marked as prefetched, with a distant RRIP
+   insertion (3 — a wrong prefetch should be the first line out). The
+   evicted line passes through the victim buffer exactly as on the
+   demand path. Prefetch fills never touch the access statistics. *)
+let fill_prefetch t addr =
+  t.clock <- t.clock + 1;
+  let line = addr lsr t.line_bits in
+  let set = line land t.set_mask in
+  let base = set * t.assoc in
+  let resident = ref false in
+  for w = 0 to t.assoc - 1 do
+    if t.tags.(base + w) = line then resident := true
+  done;
+  if not !resident then begin
+    let way = choose_way t base in
+    let rrpv = match t.policy with Lru -> 0 | Srrip | Trrip _ -> rrpv_max in
+    let evicted = install t base way line ~rrpv in
+    t.pref.(base + way) <- true;
+    ignore (victim_swap t line evicted)
+  end
+
+(* A direct-mapped LRU cache without a victim buffer has one way per set
+   and no replacement, victim or eviction-counting decision to make:
+   neither [stamps] nor [clock] can influence any future outcome, so a
+   probe that skips both is observationally identical to
+   [access_uncounted] — same hit/miss sequence, same final tag contents,
+   same statistics. The fused replay bank ({!Stc_fetch.Engine.Bank})
+   probes many caches per fetch cycle and uses this to keep the common
+   Table 3 configuration cheap. Non-LRU policies are excluded: they
+   count evictions, which this fast path does not. *)
+let plain_direct t =
+  t.assoc = 1
+  && Array.length t.v_tags = 0
+  && match t.policy with Lru -> true | Srrip | Trrip _ -> false
 
 let probe_direct t addr =
   let line = addr lsr t.line_bits in

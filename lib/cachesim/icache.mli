@@ -1,21 +1,38 @@
-(** Instruction-cache simulator: direct-mapped or set-associative with
-    LRU, optionally backed by a small fully-associative victim cache
-    (Jouppi), as in the hardware alternatives of Table 3.
+(** Instruction-cache simulator: direct-mapped or set-associative with a
+    pluggable replacement policy (LRU, or the RRIP family), optionally
+    backed by a small fully-associative victim cache (Jouppi), as in the
+    hardware alternatives of Table 3.
 
     Addresses are byte addresses; state is updated on every access. *)
 
 type t
 
+type policy =
+  | Lru  (** recency stack per set — the paper's machine, the default *)
+  | Srrip
+      (** static re-reference interval prediction: 2-bit RRPV per way,
+          long-interval (2) insertion, hit promotes to 0, victim is a
+          way at RRPV 3 after uniform aging (ties to the
+          oldest-installed way) *)
+  | Trrip of int array
+      (** SRRIP with a static per-line temperature hint, indexed by line
+          number ([addr / line_bytes]): 0 = hot (insert at RRPV 0),
+          1 = warm (insert at 2), anything else — or any line past the
+          end of the table — cold (insert at 3). The table is derived
+          from the same layout hotness STC computes
+          (see {!Temperature}). *)
+
 val create :
   ?assoc:int ->
   ?line_bytes:int ->
   ?victim_lines:int ->
+  ?policy:policy ->
   size_bytes:int ->
   unit ->
   t
 (** Defaults: direct-mapped ([assoc = 1]), 32-byte lines (8 instructions,
-    the SEQ.3 half-width), no victim cache ([victim_lines = 0]).
-    [size_bytes] must be a power of two and a multiple of
+    the SEQ.3 half-width), no victim cache ([victim_lines = 0]), [Lru]
+    replacement. [size_bytes] must be a power of two and a multiple of
     [assoc * line_bytes]. *)
 
 val access : t -> int -> bool
@@ -27,11 +44,34 @@ type outcome = Hit | Victim_hit | Miss
 
 val access_uncounted : t -> int -> outcome
 (** {!access}, except the statistics counters are left untouched (cache
-    {e state} — tags, LRU stamps, victim buffer — is still updated).
-    Hot replay loops count outcomes in local variables and flush once
-    with {!add_stats}, keeping the shared counters off the per-line
-    path; [access t a] is exactly
+    {e state} — tags, replacement state, victim buffer — is still
+    updated). Hot replay loops count outcomes in local variables and
+    flush once with {!add_stats}, keeping the shared counters off the
+    per-line path; [access t a] is exactly
     [access_uncounted t a] + the matching counter bumps. *)
+
+val access_demand : t -> int -> outcome * bool
+(** {!access_uncounted} plus prefetch accounting: the [bool] is [true]
+    iff the access hit a line installed by {!fill_prefetch} that no
+    demand access had touched yet (the prefetch was useful). The mark is
+    consumed. This is the demand entry point of the FDIP frontend
+    ({!Stc_fetch.Fdip}); without intervening {!fill_prefetch} calls it
+    is state-identical to {!access_uncounted}. *)
+
+val mem : t -> int -> bool
+(** [mem t addr] is [true] iff the line containing [addr] is resident in
+    the main tag array. Pure — no state, statistics or replacement
+    update; the victim buffer is not consulted. Used by the prefetcher
+    to filter already-resident candidates. *)
+
+val fill_prefetch : t -> int -> unit
+(** Install the line containing [addr] as a prefetch: a no-op if already
+    resident, else a normal replacement-policy install marked
+    prefetched, with a distant RRIP insertion (a wrong prefetch should
+    be the first line out) or MRU under LRU. The evicted line passes
+    through the victim buffer exactly as on the demand path. Prefetch
+    fills never touch the access/miss statistics (they do count
+    {!evictions} under RRIP policies). *)
 
 val add_stats : t -> accesses:int -> misses:int -> victim_hits:int -> unit
 (** Batch-add to the statistics counters; the flush half of the
@@ -39,7 +79,9 @@ val add_stats : t -> accesses:int -> misses:int -> victim_hits:int -> unit
 
 val plain_direct : t -> bool
 (** [true] iff the cache is direct-mapped ([assoc = 1]) with no victim
-    buffer — the precondition of {!probe_direct}. *)
+    buffer and [Lru] replacement — the precondition of {!probe_direct}.
+    (Non-LRU policies are excluded because they count {!evictions},
+    which the fast probe does not.) *)
 
 val probe_direct : t -> int -> bool
 (** Specialized {!access_uncounted} for {!plain_direct} caches: [true]
@@ -50,12 +92,14 @@ val probe_direct : t -> int -> bool
     tags) at a fraction of the cost — this is what the fused replay bank
     drives for every plain direct-mapped configuration. Statistics are
     left to the caller, as with {!access_uncounted}. Calling it on a
-    set-associative or victim-backed cache would silently corrupt the
-    replacement state; don't. *)
+    set-associative, victim-backed or non-LRU cache would silently
+    corrupt the replacement state; don't. *)
 
 val line_bytes : t -> int
 
 val size_bytes : t -> int
+
+val policy : t -> policy
 
 val accesses : t -> int
 
@@ -63,6 +107,12 @@ val misses : t -> int
 (** True misses (not satisfied by the cache nor its victim buffer). *)
 
 val victim_hits : t -> int
+
+val evictions : t -> int
+(** Valid lines evicted from the main tag array (demand installs and
+    prefetch fills). Tracked for the RRIP policies only — always 0
+    under [Lru], where the historical paths (including
+    {!probe_direct}) do not count it. *)
 
 type stats = { s_accesses : int; s_misses : int; s_victim_hits : int }
 
@@ -74,7 +124,10 @@ val stats : t -> stats
 val attach_metrics : t -> Stc_obs.Registry.t -> prefix:string -> unit
 (** Register this cache's counters with a metrics registry under
     [prefix ^ "icache."] ([accesses], [misses], [victim_hits]); they keep
-    updating in place on every {!access}. *)
+    updating in place on every {!access}. Non-LRU caches additionally
+    register [evictions] under [prefix ^ "icache.replacement."]; LRU
+    caches register exactly the historical three, keeping pre-existing
+    exports byte-identical. *)
 
 val reset_stats : t -> unit
 (** Zero the statistics counters; cache contents are untouched. *)

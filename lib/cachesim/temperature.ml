@@ -1,0 +1,63 @@
+(* Static per-line temperature hints for the Trrip policy, derived from
+   per-block dynamic execution counts (the same hotness signal STC's
+   layout algorithms order blocks by).
+
+   A block spanning k lines contributes its count to each of them —
+   every executed instruction of the block costs a fetch of its line.
+   Lines are then ranked by accumulated weight (ties to the lower line
+   number, so the classification is deterministic): the lines covering
+   the first half of the total fetch mass are hot (0), those covering
+   the next 40% warm (1), everything else cold (2). *)
+
+let hot_num = 1
+
+let hot_den = 2 (* hot: first 1/2 of the mass *)
+
+let warm_num = 9
+
+let warm_den = 10 (* warm: up to 9/10 of the mass *)
+
+let of_blocks ~line_bytes ~addrs ~sizes ~counts =
+  if line_bytes <= 0 then invalid_arg "Temperature.of_blocks: line_bytes";
+  let n = Array.length addrs in
+  if Array.length sizes <> n || Array.length counts <> n then
+    invalid_arg "Temperature.of_blocks: array length mismatch";
+  (* highest line touched by any placed block *)
+  let max_line = ref (-1) in
+  for b = 0 to n - 1 do
+    if addrs.(b) >= 0 && sizes.(b) > 0 then begin
+      let last = (addrs.(b) + sizes.(b) - 1) / line_bytes in
+      if last > !max_line then max_line := last
+    end
+  done;
+  if !max_line < 0 then [||]
+  else begin
+    let weight = Array.make (!max_line + 1) 0 in
+    for b = 0 to n - 1 do
+      if addrs.(b) >= 0 && sizes.(b) > 0 && counts.(b) > 0 then
+        for l = addrs.(b) / line_bytes to (addrs.(b) + sizes.(b) - 1) / line_bytes
+        do
+          weight.(l) <- weight.(l) + counts.(b)
+        done
+    done;
+    let total = Array.fold_left ( + ) 0 weight in
+    let temps = Array.make (!max_line + 1) 2 in
+    if total > 0 then begin
+      let order = Array.init (!max_line + 1) Fun.id in
+      Array.sort
+        (fun a b ->
+          if weight.(a) <> weight.(b) then compare weight.(b) weight.(a)
+          else compare a b)
+        order;
+      let cum = ref 0 in
+      Array.iter
+        (fun l ->
+          let before = !cum in
+          cum := !cum + weight.(l);
+          if weight.(l) > 0 then
+            if before * hot_den < total * hot_num then temps.(l) <- 0
+            else if before * warm_den < total * warm_num then temps.(l) <- 1)
+        order
+    end;
+    temps
+  end

@@ -1,0 +1,18 @@
+(** Static per-line temperature hints for {!Icache.Trrip}, derived from
+    per-block dynamic execution counts — the layout hotness signal STC
+    already computes, reused as TRRIP's temperature oracle. *)
+
+val of_blocks :
+  line_bytes:int ->
+  addrs:int array ->
+  sizes:int array ->
+  counts:int array ->
+  int array
+(** [of_blocks ~line_bytes ~addrs ~sizes ~counts] maps a placed layout
+    (per-block byte address, -1 = unplaced; per-block byte size) and the
+    per-block dynamic execution counts to a per-line temperature table
+    indexed by line number: 0 hot, 1 warm, 2 cold. A block contributes
+    its count to every line it spans. Ranking lines by weight (ties to
+    the lower line number), the lines covering the first half of the
+    total fetch mass are hot and those covering the next 40% warm;
+    zero-weight lines are always cold. Deterministic in its inputs. *)

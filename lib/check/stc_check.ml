@@ -165,12 +165,17 @@ module Oracle = struct
       line_bytes : int;
       n_sets : int;
       victim_cap : int;
-      sets : int list array;  (* per set: resident lines, MRU first *)
+      policy : Real_icache.policy;
+      sets : int list array;  (* LRU: resident lines per set, MRU first *)
+      rsets : (int * int) list array;
+          (* RRIP: (line, rrpv) per set, oldest install first *)
       mutable victim : int list;  (* insertion order, MRU first *)
+      mutable marks : int list;  (* prefetched-and-not-yet-demanded lines *)
+      mutable evictions : int;  (* valid lines replaced (non-LRU only) *)
     }
 
     let create ?(assoc = 1) ?(line_bytes = 32) ?(victim_lines = 0)
-        ~size_bytes () =
+        ?(policy = Real_icache.Lru) ~size_bytes () =
       if assoc < 1 then invalid_arg "Oracle.Icache.create: assoc";
       if line_bytes <= 0 || size_bytes <= 0
          || size_bytes mod (assoc * line_bytes) <> 0
@@ -180,9 +185,15 @@ module Oracle = struct
         line_bytes;
         n_sets = size_bytes / (assoc * line_bytes);
         victim_cap = victim_lines;
+        policy;
         sets = Array.make (size_bytes / (assoc * line_bytes)) [];
+        rsets = Array.make (size_bytes / (assoc * line_bytes)) [];
         victim = [];
+        marks = [];
+        evictions = 0;
       }
+
+    let evictions t = t.evictions
 
     let remove x l = List.filter (fun y -> y <> x) l
 
@@ -191,41 +202,144 @@ module Oracle = struct
       | _ when n <= 0 -> []
       | x :: tl -> x :: take (n - 1) tl
 
-    (* Equivalent to [Stc_cachesim.Icache.access_uncounted]: a hit
-       refreshes recency (stamps there, move-to-front here); a miss
-       installs the line over an invalid way if one exists (which
-       invalid way is chosen is unobservable) or the LRU way (stamps
-       are unique, so LRU = list tail); the victim buffer is probed for
-       the missing line and, exactly as in [victim_swap], receives the
-       evicted line — over its own hit slot on a victim hit, over an
-       invalid/LRU slot on a victim miss, and nothing when the main set
-       had a free way (nothing was evicted). *)
-    let access t addr =
-      let line = addr / t.line_bytes in
-      let set = line mod t.n_sets in
-      let ways = t.sets.(set) in
-      if List.mem line ways then begin
-        t.sets.(set) <- line :: remove line ways;
-        Real_icache.Hit
+    (* Probe the victim buffer for [line] exactly as [victim_swap] does:
+       the evicted line (if any) replaces the hit slot on a victim hit,
+       or an invalid/LRU slot on a victim miss; nothing is inserted when
+       the main set had a free way. *)
+    let victim_outcome t line evicted =
+      if t.victim_cap = 0 then Real_icache.Miss
+      else if List.mem line t.victim then begin
+        let rest = remove line t.victim in
+        t.victim <- (match evicted with Some e -> e :: rest | None -> rest);
+        Real_icache.Victim_hit
       end
       else begin
-        let evicted =
-          if List.length ways >= t.assoc then Some (List.nth ways (t.assoc - 1))
-          else None
+        (match evicted with
+        | Some e -> t.victim <- take t.victim_cap (e :: t.victim)
+        | None -> ());
+        Real_icache.Miss
+      end
+
+    (* Insertion RRPV, mirroring [Icache.insert_rrpv]. *)
+    let rrip_insert t line =
+      match t.policy with
+      | Real_icache.Lru -> 0
+      | Real_icache.Srrip -> 2
+      | Real_icache.Trrip temps ->
+        let temp = if line < Array.length temps then temps.(line) else 2 in
+        if temp <= 0 then 0 else if temp = 1 then 2 else 3
+
+    (* Install into an RRIP set: reuse a free way if one exists, else age
+       every way uniformly until the maximum RRPV reaches 3 and evict the
+       oldest-installed way standing there. The real cache breaks RRPV-3
+       ties by minimum install stamp and hits never touch stamps, so its
+       victim is always the oldest-installed RRPV-3 way — here the list
+       is kept in install order (hits rewrite RRPVs in place, installs
+       append at the tail), so that victim is the first match. Returns
+       the evicted line, if any. *)
+    let rrip_install t set line ~rrpv =
+      let ways = t.rsets.(set) in
+      if List.length ways < t.assoc then begin
+        t.rsets.(set) <- ways @ [ (line, rrpv) ];
+        None
+      end
+      else begin
+        let m = List.fold_left (fun acc (_, r) -> max acc r) 0 ways in
+        let ways = List.map (fun (l, r) -> (l, r + 3 - m)) ways in
+        let rec split seen = function
+          | (l, 3) :: tl -> (l, List.rev_append seen tl)
+          | w :: tl -> split (w :: seen) tl
+          | [] -> assert false
         in
-        t.sets.(set) <- line :: take (t.assoc - 1) ways;
-        if t.victim_cap = 0 then Real_icache.Miss
-        else if List.mem line t.victim then begin
-          let rest = remove line t.victim in
-          t.victim <- (match evicted with Some e -> e :: rest | None -> rest);
-          Real_icache.Victim_hit
+        let victim, rest = split [] ways in
+        t.rsets.(set) <- rest @ [ (line, rrpv) ];
+        t.evictions <- t.evictions + 1;
+        t.marks <- remove victim t.marks;
+        Some victim
+      end
+
+    (* Equivalent to [Stc_cachesim.Icache.access_demand] (and, with the
+       returned mark flag ignored, to [access_uncounted]): a hit
+       refreshes the replacement state (stamps there, move-to-front
+       here under LRU; RRPV := 0 under RRIP) and consumes the line's
+       prefetch mark; a miss installs the line over an invalid way if
+       one exists (which invalid way is chosen is unobservable) or the
+       policy's victim (LRU stamps are unique, so LRU = list tail), and
+       the victim buffer receives the evicted line. *)
+    let demand t addr =
+      let line = addr / t.line_bytes in
+      let set = line mod t.n_sets in
+      match t.policy with
+      | Real_icache.Lru ->
+        let ways = t.sets.(set) in
+        if List.mem line ways then begin
+          t.sets.(set) <- line :: remove line ways;
+          let was_pref = List.mem line t.marks in
+          t.marks <- remove line t.marks;
+          (Real_icache.Hit, was_pref)
         end
         else begin
+          let evicted =
+            if List.length ways >= t.assoc then
+              Some (List.nth ways (t.assoc - 1))
+            else None
+          in
+          t.sets.(set) <- line :: take (t.assoc - 1) ways;
           (match evicted with
-          | Some e -> t.victim <- take t.victim_cap (e :: t.victim)
+          | Some e -> t.marks <- remove e t.marks
           | None -> ());
-          Real_icache.Miss
+          (victim_outcome t line evicted, false)
         end
+      | Real_icache.Srrip | Real_icache.Trrip _ ->
+        let ways = t.rsets.(set) in
+        if List.mem_assoc line ways then begin
+          t.rsets.(set) <-
+            List.map (fun (l, r) -> if l = line then (l, 0) else (l, r)) ways;
+          let was_pref = List.mem line t.marks in
+          t.marks <- remove line t.marks;
+          (Real_icache.Hit, was_pref)
+        end
+        else begin
+          let evicted = rrip_install t set line ~rrpv:(rrip_insert t line) in
+          (victim_outcome t line evicted, false)
+        end
+
+    let access t addr = fst (demand t addr)
+
+    let mem t addr =
+      let line = addr / t.line_bytes in
+      let set = line mod t.n_sets in
+      match t.policy with
+      | Real_icache.Lru -> List.mem line t.sets.(set)
+      | Real_icache.Srrip | Real_icache.Trrip _ ->
+        List.mem_assoc line t.rsets.(set)
+
+    (* Mirror of [Stc_cachesim.Icache.fill_prefetch]: a no-op when the
+       line is resident, else a normal install marked as prefetched —
+       MRU under LRU, distant (RRPV 3) under RRIP — with the evicted
+       line passing through the victim buffer. Never touches the access
+       statistics. *)
+    let fill_prefetch t addr =
+      let line = addr / t.line_bytes in
+      let set = line mod t.n_sets in
+      if not (mem t addr) then begin
+        (match t.policy with
+        | Real_icache.Lru ->
+          let ways = t.sets.(set) in
+          let evicted =
+            if List.length ways >= t.assoc then
+              Some (List.nth ways (t.assoc - 1))
+            else None
+          in
+          t.sets.(set) <- line :: take (t.assoc - 1) ways;
+          (match evicted with
+          | Some e -> t.marks <- remove e t.marks
+          | None -> ());
+          ignore (victim_outcome t line evicted)
+        | Real_icache.Srrip | Real_icache.Trrip _ ->
+          let evicted = rrip_install t set line ~rrpv:3 in
+          ignore (victim_outcome t line evicted));
+        t.marks <- line :: t.marks
       end
   end
 
@@ -304,6 +418,101 @@ module Oracle = struct
     let cond_branches = ref 0 in
     let accs = ref 0 and misses = ref 0 and vhits = ref 0 in
     let lookups = ref 0 and tc_hits = ref 0 in
+    (* Decoupled-frontend reference model ([Stc_fetch.Fdip] re-derived):
+       in-flight prefetches as an ordered (line, ready-cycle) association
+       list, driven begin -> demand -> advance each cycle in the same
+       order as the real engine. Live only with both an i-cache and an
+       FDIP block in the config, exactly like the engine. *)
+    let fdip =
+      match (config.Engine.Config.fdip, icache) with
+      | Some fc, Some c -> Some (fc, c)
+      | _ -> None
+    in
+    let inflight = ref [] in
+    let pf_issued = ref 0 and pf_completed = ref 0 in
+    let pf_late = ref 0 and pf_useful = ref 0 in
+    let fdip_begin now =
+      match fdip with
+      | None -> ()
+      | Some (_, c) ->
+        (* land elapsed prefetches in issue order *)
+        let rec go acc = function
+          | [] -> List.rev acc
+          | (a, ready) :: tl ->
+            if ready <= now then begin
+              Icache.fill_prefetch c a;
+              incr pf_completed;
+              go acc tl
+            end
+            else go ((a, ready) :: acc) tl
+        in
+        inflight := go [] !inflight
+    in
+    (* One demand line probe under FDIP, returning its cycle charge. A
+       line caught in flight lands now, counts as a (late) miss and is
+       charged only the remaining latency, capped at the full penalty; a
+       hit that consumes a prefetch mark was a useful prefetch. The
+       [on_access] hook stays silent here by design: a lockstep
+       [access_uncounted] shadow cannot mirror prefetch installs. *)
+    let fdip_demand c ~now a =
+      incr accs;
+      match List.assoc_opt a !inflight with
+      | Some ready ->
+        inflight := List.remove_assoc a !inflight;
+        Icache.fill_prefetch c a;
+        incr pf_completed;
+        incr pf_late;
+        ignore (Icache.demand c a);
+        incr misses;
+        let remain = ready - now in
+        if remain <= 0 then 0
+        else if remain > miss_penalty then miss_penalty
+        else remain
+      | None -> (
+        match Icache.demand c a with
+        | Real_icache.Hit, was_pref ->
+          if was_pref then incr pf_useful;
+          0
+        | Real_icache.Victim_hit, _ ->
+          incr vhits;
+          0
+        | Real_icache.Miss, _ ->
+          incr misses;
+          miss_penalty)
+    in
+    (* Walk the FTQ — the next [ftq_depth] fetch targets starting at the
+       cycle-start block — issuing each target's SEQ.3 line pair under
+       the degree and MSHR bounds, skipping resident and in-flight
+       lines. *)
+    let fdip_advance ~now start_idx =
+      match fdip with
+      | None -> ()
+      | Some (fc, c) ->
+        let budget = ref fc.Stc_fetch.Fdip.degree in
+        let issue a =
+          if
+            !budget > 0
+            && List.length !inflight < fc.Stc_fetch.Fdip.mshrs
+            && (not (Icache.mem c a))
+            && not (List.mem_assoc a !inflight)
+          then begin
+            inflight := !inflight @ [ (a, now + fc.Stc_fetch.Fdip.latency) ];
+            incr pf_issued;
+            decr budget
+          end
+        in
+        let k = ref 0 and stop = ref false in
+        while (not !stop) && !k < fc.Stc_fetch.Fdip.ftq_depth do
+          let i = start_idx + !k in
+          if i >= len then stop := true
+          else begin
+            let l0 = View.block_addr view i / line * line in
+            issue l0;
+            issue (l0 + line);
+            incr k
+          end
+        done
+    in
     let access a =
       match icache with
       | None -> true
@@ -323,6 +532,11 @@ module Oracle = struct
     let idx = ref 0 and off = ref 0 in
     while !idx < len do
       let pos = { View.idx = !idx; off = !off } in
+      let start_idx = !idx in
+      (* this iteration is fetch cycle !cycles + 1; elapsed prefetches
+         land before anything else the cycle does, on both branches *)
+      let fnow = !cycles + 1 in
+      fdip_begin fnow;
       let hit =
         match trace_cache with
         | None -> None
@@ -343,16 +557,23 @@ module Oracle = struct
           if View.is_cond view i then incr cond_branches
         done;
         idx := eidx;
-        off := eoff
+        off := eoff;
+        fdip_advance ~now:fnow start_idx
       | None ->
         (* sequential cycle: two consecutive lines, then supply *)
         incr cycles;
         incr seq_cycles;
         let a = View.addr view pos in
         let line_no = a / line in
-        let h1 = access (line_no * line) in
-        let h2 = access ((line_no + 1) * line) in
-        if not (h1 && h2) then penalties := !penalties + miss_penalty;
+        (match fdip with
+        | Some (_, c) ->
+          let c1 = fdip_demand c ~now:fnow (line_no * line) in
+          let c2 = fdip_demand c ~now:fnow ((line_no + 1) * line) in
+          penalties := !penalties + max c1 c2
+        | None ->
+          let h1 = access (line_no * line) in
+          let h2 = access ((line_no + 1) * line) in
+          if not (h1 && h2) then penalties := !penalties + miss_penalty);
         let window_end = (line_no + 2) * line in
         let branches = ref 0 in
         let stop = ref false in
@@ -383,7 +604,8 @@ module Oracle = struct
         done;
         (match trace_cache with
         | Some tc -> Tracecache.fill tc view pos
-        | None -> ())
+        | None -> ());
+        fdip_advance ~now:fnow start_idx
     done;
     {
       Engine.instrs = !instrs;
@@ -400,6 +622,12 @@ module Oracle = struct
       instrs_between_taken = View.instrs_between_taken view;
       cond_branches = !cond_branches;
       mispredictions = 0;
+      icache_evictions =
+        (match icache with Some c -> Icache.evictions c | None -> 0);
+      prefetch_issued = !pf_issued;
+      prefetch_completed = !pf_completed;
+      prefetch_late = !pf_late;
+      prefetch_useful = !pf_useful;
     }
 end
 
@@ -407,33 +635,115 @@ end
 (* Differential runners                                                *)
 (* ------------------------------------------------------------------ *)
 
+type case_policy = P_lru | P_srrip | P_trrip
+
 type cache_case = {
   case_name : string;
   kb : int;
   assoc : int;
   victim_lines : int;
   tc : bool;
+  policy : case_policy;
+  fdip : Stc_fetch.Fdip.config option;
 }
 
 let default_cases =
   [
-    { case_name = "8kb-direct"; kb = 8; assoc = 1; victim_lines = 0; tc = false };
+    {
+      case_name = "8kb-direct";
+      kb = 8;
+      assoc = 1;
+      victim_lines = 0;
+      tc = false;
+      policy = P_lru;
+      fdip = None;
+    };
     {
       case_name = "8kb-victim16";
       kb = 8;
       assoc = 1;
       victim_lines = 16;
       tc = false;
+      policy = P_lru;
+      fdip = None;
     };
-    { case_name = "16kb-2way"; kb = 16; assoc = 2; victim_lines = 0; tc = false };
+    {
+      case_name = "16kb-2way";
+      kb = 16;
+      assoc = 2;
+      victim_lines = 0;
+      tc = false;
+      policy = P_lru;
+      fdip = None;
+    };
     {
       case_name = "16kb-direct-tc";
       kb = 16;
       assoc = 1;
       victim_lines = 0;
       tc = true;
+      policy = P_lru;
+      fdip = None;
     };
-    { case_name = "ideal-tc"; kb = 0; assoc = 1; victim_lines = 0; tc = true };
+    {
+      case_name = "ideal-tc";
+      kb = 0;
+      assoc = 1;
+      victim_lines = 0;
+      tc = true;
+      policy = P_lru;
+      fdip = None;
+    };
+  ]
+
+let extended_cases =
+  let fd = Stc_fetch.Fdip.default in
+  [
+    {
+      case_name = "16kb-4way-srrip";
+      kb = 16;
+      assoc = 4;
+      victim_lines = 0;
+      tc = false;
+      policy = P_srrip;
+      fdip = None;
+    };
+    {
+      case_name = "16kb-4way-trrip";
+      kb = 16;
+      assoc = 4;
+      victim_lines = 0;
+      tc = false;
+      policy = P_trrip;
+      fdip = None;
+    };
+    {
+      case_name = "8kb-direct-fdip";
+      kb = 8;
+      assoc = 1;
+      victim_lines = 0;
+      tc = false;
+      policy = P_lru;
+      fdip = Some fd;
+    };
+    {
+      case_name = "16kb-4way-trrip-fdip";
+      kb = 16;
+      assoc = 4;
+      victim_lines = 0;
+      tc = false;
+      policy = P_trrip;
+      fdip = Some fd;
+    };
+    {
+      case_name = "16kb-fdip-tc";
+      kb = 16;
+      assoc = 1;
+      victim_lines = 0;
+      tc = true;
+      policy = P_lru;
+      fdip = Some fd;
+    };
   ]
 
 type mismatch = {
@@ -463,26 +773,46 @@ let rec combine4 a b c d =
     (f, va, vb, vc, vd) :: combine4 ta tb tc td
   | _ -> invalid_arg "Stc_check.combine4: field lists differ in length"
 
-let real_icache_of_case case () =
+let real_policy_of_case ~temperature case =
+  match case.policy with
+  | P_lru -> Real_icache.Lru
+  | P_srrip -> Real_icache.Srrip
+  | P_trrip -> Real_icache.Trrip temperature
+
+let real_icache_of_case ?(temperature = [||]) case () =
   if case.kb = 0 then None
   else
     Some
       (Real_icache.create ~assoc:case.assoc ~victim_lines:case.victim_lines
+         ~policy:(real_policy_of_case ~temperature case)
          ~size_bytes:(case.kb * 1024) ())
 
 let real_tc_of_case case () = if case.tc then Some (Real_tc.create ()) else None
 
-let diff_cases ?config ~layout_name view cases =
+(* A case with an FDIP block replaces the engine config's; the other
+   engine parameters pass through unchanged. *)
+let case_config ?config case =
+  let base = Option.value config ~default:Engine.Config.default in
+  match case.fdip with
+  | None -> base
+  | Some fc ->
+    Engine.Config.make ~max_branches:base.Engine.Config.max_branches
+      ~line_bytes:base.Engine.Config.line_bytes
+      ~miss_penalty:base.Engine.Config.miss_penalty ~fdip:fc ()
+
+let diff_cases ?config ?(temperature = [||]) ~layout_name view cases =
   let cases = Array.of_list cases in
   let packed = View.pack view in
   (* one fused bank over the whole case list — mixed direct/victim/2-way
-     geometries, trace caches and the ideal slot replay in a single
-     sweep, exactly how Experiments fuses a grid's cells *)
+     geometries, replacement policies, FDIP frontends, trace caches and
+     the ideal slot replay in a single sweep, exactly how Experiments
+     fuses a grid's cells *)
   let bank_specs =
     Array.map
       (fun case ->
-        Engine.Bank.spec ?config
-          ?icache:(real_icache_of_case case ())
+        Engine.Bank.spec
+          ~config:(case_config ?config case)
+          ?icache:(real_icache_of_case ~temperature case ())
           ?trace_cache:(real_tc_of_case case ())
           ())
       cases
@@ -493,8 +823,11 @@ let diff_cases ?config ~layout_name view cases =
        (fun i case ->
          (* lockstep shadow: every oracle i-cache access is replayed into
             a private real cache; the first differing outcome is where
-            the two models' state forked *)
-         let shadow = real_icache_of_case case () in
+            the two models' state forked. Under FDIP the oracle's demand
+            path never fires the hook (a shadow driven by
+            [access_uncounted] cannot mirror prefetch installs), so
+            those cases rely on the four-way field comparison alone. *)
+         let shadow = real_icache_of_case ~temperature case () in
          let divergence = ref None in
          let access_no = ref 0 in
          let on_access ~addr out =
@@ -510,30 +843,32 @@ let diff_cases ?config ~layout_name view cases =
                       "access #%d (addr 0x%x): oracle %s, icache %s"
                       !access_no addr (outcome_name out) (outcome_name got))
          in
+         let cfg = case_config ?config case in
          let oracle_icache =
            if case.kb = 0 then None
            else
              Some
                (Oracle.Icache.create ~assoc:case.assoc
                   ~victim_lines:case.victim_lines
+                  ~policy:(real_policy_of_case ~temperature case)
                   ~size_bytes:(case.kb * 1024) ())
          in
          let oracle_tc =
            if case.tc then Some (Oracle.Tracecache.create ()) else None
          in
          let o =
-           Oracle.fetch ?config ?icache:oracle_icache ?trace_cache:oracle_tc
-             ~on_access view
+           Oracle.fetch ~config:cfg ?icache:oracle_icache
+             ?trace_cache:oracle_tc ~on_access view
          in
          let n =
-           Engine.run_naive ?config
-             ?icache:(real_icache_of_case case ())
+           Engine.run_naive ~config:cfg
+             ?icache:(real_icache_of_case ~temperature case ())
              ?trace_cache:(real_tc_of_case case ())
              view
          in
          let p =
-           Engine.run_packed ?config
-             ?icache:(real_icache_of_case case ())
+           Engine.run_packed ~config:cfg
+             ?icache:(real_icache_of_case ~temperature case ())
              ?trace_cache:(real_tc_of_case case ())
              packed
          in
@@ -561,16 +896,18 @@ let diff_cases ?config ~layout_name view cases =
          })
        cases)
 
-let diff_engines ?config ~layout_name view case =
-  match diff_cases ?config ~layout_name view [ case ] with
+let diff_engines ?config ?temperature ~layout_name view case =
+  match diff_cases ?config ?temperature ~layout_name view [ case ] with
   | [ r ] -> r
   | _ -> assert false
 
-let diff_icache_stream ?(accesses = 20_000) ~seed ~assoc ~victim_lines
-    ~size_bytes () =
+let diff_icache_stream ?(accesses = 20_000) ?(policy = Real_icache.Lru) ~seed
+    ~assoc ~victim_lines ~size_bytes () =
   let rng = Stc_util.Rng.create (Int64.of_int seed) in
-  let real = Real_icache.create ~assoc ~victim_lines ~size_bytes () in
-  let oracle = Oracle.Icache.create ~assoc ~victim_lines ~size_bytes () in
+  let real = Real_icache.create ~assoc ~victim_lines ~policy ~size_bytes () in
+  let oracle =
+    Oracle.Icache.create ~assoc ~victim_lines ~policy ~size_bytes ()
+  in
   let divergence = ref None in
   let i = ref 0 in
   while !divergence = None && !i < accesses do
@@ -674,16 +1011,24 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
       match L.Algo.find name with
       | Error msg -> invalid_arg msg
       | Ok algo ->
+        let layout = L.Algo.layout algo profile params in
         ( algo.L.Algo.name,
-          View.create prog
-            (L.Algo.layout algo profile params)
-            (Pipeline.test_source pl) )
+          layout,
+          View.create prog layout (Pipeline.test_source pl) )
     in
     let views =
       List.map view_of [ "orig"; "ops"; "codestitcher"; "exttsp" ]
     in
+    let sizes = Array.map Block.byte_size prog.Program.blocks in
+    let counts = Profile.counts profile in
     List.concat_map
-      (fun (layout_name, view) ->
+      (fun (layout_name, layout, view) ->
+        (* the TRRIP cases seed their temperature table from this
+           layout's own hotness, exactly as the extended grid does *)
+        let temperature =
+          Stc_cachesim.Temperature.of_blocks ~line_bytes:32
+            ~addrs:layout.Layout.addr ~sizes ~counts
+        in
         List.map
           (fun r ->
             bump c_cases 1;
@@ -699,22 +1044,29 @@ let run_all ?(ctx = Run.default) (pl : Pipeline.t) =
                   | Some d -> Json.Str d );
               ];
             r)
-          (diff_cases ~layout_name view default_cases))
+          (diff_cases ~temperature ~layout_name view
+             (default_cases @ extended_cases)))
       views
   in
-  (* seeded random-address streams over three geometries *)
+  (* seeded random-address streams per geometry and policy *)
   let r_icache =
     Run.span ctx "check-icache-stream" @@ fun () ->
     let seed = Option.value ctx.Run.seed ~default:1 in
+    (* a deterministic synthetic temperature table covering the whole
+       4x address span used by the stream *)
+    let trrip_temps kb = Array.init (kb * 1024 * 4 / 32) (fun i -> i mod 3) in
     List.map
-      (fun (name, assoc, victim_lines, kb) ->
+      (fun (name, assoc, victim_lines, kb, policy) ->
         ( name,
-          diff_icache_stream ~seed ~assoc ~victim_lines
+          diff_icache_stream ~policy ~seed ~assoc ~victim_lines
             ~size_bytes:(kb * 1024) () ))
       [
-        ("4kb-direct", 1, 0, 4);
-        ("4kb-direct-victim4", 1, 4, 4);
-        ("8kb-2way-victim8", 2, 8, 8);
+        ("4kb-direct", 1, 0, 4, Real_icache.Lru);
+        ("4kb-direct-victim4", 1, 4, 4, Real_icache.Lru);
+        ("8kb-2way-victim8", 2, 8, 8, Real_icache.Lru);
+        ("8kb-4way-srrip", 4, 0, 8, Real_icache.Srrip);
+        ("8kb-4way-trrip", 4, 0, 8, Real_icache.Trrip (trrip_temps 8));
+        ("4kb-2way-srrip-victim4", 2, 4, 4, Real_icache.Srrip);
       ]
   in
   { r_layouts; r_engines; r_icache }

@@ -86,8 +86,10 @@ end
 (** {1 Reference models} *)
 
 module Oracle : sig
-  (** Association-list i-cache with MRU-ordered ways and victim buffer;
-      outcome-equivalent to {!Stc_cachesim.Icache} by construction. *)
+  (** List-based i-cache with victim buffer and pluggable replacement
+      (MRU-ordered ways under LRU, install-ordered [(line, rrpv)] pairs
+      under the RRIP family); outcome-equivalent to
+      {!Stc_cachesim.Icache} by construction. *)
   module Icache : sig
     type t
 
@@ -95,6 +97,7 @@ module Oracle : sig
       ?assoc:int ->
       ?line_bytes:int ->
       ?victim_lines:int ->
+      ?policy:Stc_cachesim.Icache.policy ->
       size_bytes:int ->
       unit ->
       t
@@ -122,13 +125,21 @@ module Oracle : sig
     Stc_fetch.Engine.result
   (** The SEQ.3 fetch model re-derived from the paper's description,
       supplying one instruction per step instead of one block per step.
-      [on_access] observes every i-cache access in order (the
-      differential runner hooks a lockstep shadow of the real cache
-      here). [mispredictions] is always 0 — the oracle models the
-      paper's perfect-prediction configuration. *)
+      With an FDIP block in the config (and an i-cache), a shared-nothing
+      decoupled-frontend model — an ordered association list of in-flight
+      prefetches — runs the same begin/demand/advance cycle protocol as
+      {!Stc_fetch.Fdip}. [on_access] observes every i-cache access in
+      order (the differential runner hooks a lockstep shadow of the real
+      cache here); it stays silent under FDIP, whose demand path a
+      lockstep shadow cannot mirror. [mispredictions] is always 0 — the
+      oracle models the paper's perfect-prediction configuration. *)
 end
 
 (** {1 Differential runners} *)
+
+(** Which replacement policy a case runs; [P_trrip] takes its
+    temperature table from [diff_cases]'s [?temperature]. *)
+type case_policy = P_lru | P_srrip | P_trrip
 
 type cache_case = {
   case_name : string;
@@ -136,12 +147,21 @@ type cache_case = {
   assoc : int;
   victim_lines : int;
   tc : bool;  (** Front the engine with a 256-entry trace cache. *)
+  policy : case_policy;
+  fdip : Stc_fetch.Fdip.config option;
+      (** Run the case with a decoupled-frontend prefetcher. *)
 }
 
 val default_cases : cache_case list
 (** Five configurations spanning Table 3's hardware space: 8KB direct,
     8KB direct + 16-line victim buffer, 16KB 2-way, 16KB direct + trace
-    cache, ideal + trace cache. *)
+    cache, ideal + trace cache — all LRU, no prefetching (the paper's
+    machine). *)
+
+val extended_cases : cache_case list
+(** Five configurations exercising the post-paper mechanisms: 16KB
+    4-way SRRIP, 16KB 4-way TRRIP, 8KB direct + FDIP, 16KB 4-way TRRIP
+    + FDIP, and 16KB direct + FDIP + trace cache. *)
 
 type mismatch = {
   field : string;
@@ -165,19 +185,23 @@ type engine_report = {
 
 val diff_cases :
   ?config:Stc_fetch.Engine.config ->
+  ?temperature:int array ->
   layout_name:string ->
   Stc_fetch.View.t ->
   cache_case list ->
   engine_report list
 (** Replay the view through {!Oracle.fetch},
     {!Stc_fetch.Engine.run_naive} and {!Stc_fetch.Engine.run_packed}
-    per case (fresh caches each), plus {e one}
+    per case (fresh caches each; a case's [fdip] block overrides the
+    config's; [P_trrip] cases seed both real and oracle caches from
+    [?temperature], default empty = all cold), plus {e one}
     {!Stc_fetch.Engine.Bank.run_packed} sweep fusing every case's spec
     — the same mixed-configuration banks Experiments builds — and
     compare every {!Stc_fetch.Engine.result} field four ways. *)
 
 val diff_engines :
   ?config:Stc_fetch.Engine.config ->
+  ?temperature:int array ->
   layout_name:string ->
   Stc_fetch.View.t ->
   cache_case ->
@@ -186,14 +210,16 @@ val diff_engines :
 
 val diff_icache_stream :
   ?accesses:int ->
+  ?policy:Stc_cachesim.Icache.policy ->
   seed:int ->
   assoc:int ->
   victim_lines:int ->
   size_bytes:int ->
   unit ->
   string option
-(** Drive the oracle and the real i-cache with the same seeded random
-    address stream; [Some msg] describes the first diverging access. *)
+(** Drive the oracle and the real i-cache (both under [?policy],
+    default LRU) with the same seeded random address stream; [Some msg]
+    describes the first diverging access. *)
 
 (** {1 The bundle} *)
 
@@ -207,10 +233,10 @@ type report = {
       (** Every {!Stc_layout.Algo} registry entry, in registration
           order. *)
   r_engines : engine_report list;
-      (** {!default_cases} over the orig, ops, codestitcher and exttsp
-          layouts. *)
+      (** {!default_cases} @ {!extended_cases} over the orig, ops,
+          codestitcher and exttsp layouts. *)
   r_icache : (string * string option) list;
-      (** Random-stream i-cache differentials per geometry. *)
+      (** Random-stream i-cache differentials per geometry × policy. *)
 }
 
 val run_all : ?ctx:Stc_core.Run.ctx -> Stc_core.Pipeline.t -> report
@@ -218,10 +244,13 @@ val run_all : ?ctx:Stc_core.Run.ctx -> Stc_core.Pipeline.t -> report
     (16KB cache, 4KB CFA, the simulation grid's thresholds), validate
     each against its own plan; run the four-way engine differential
     ({!diff_cases}) on the test trace over the orig, ops, codestitcher
-    and exttsp views, fusing every {!default_cases} entry into one bank
-    per view; run the seeded i-cache stream differential on three
-    geometries. Of [ctx], [metrics] feeds the
-    [check.*] counters and events, [seed] seeds the address streams. *)
+    and exttsp views, fusing every {!default_cases} and
+    {!extended_cases} entry into one bank per view, with each layout's
+    TRRIP temperature derived from its own hotness
+    ({!Stc_cachesim.Temperature.of_blocks}); run the seeded i-cache
+    stream differential across LRU, SRRIP and TRRIP geometries. Of
+    [ctx], [metrics] feeds the [check.*] counters and events, [seed]
+    seeds the address streams. *)
 
 val ok : report -> bool
 

@@ -157,6 +157,13 @@ type row = {
   bandwidth : float;
   instrs_between_taken : float;
   tc_hit_pct : float;
+  assoc : int;
+  policy : string;
+  prefetch : bool;
+  evictions : int;
+  pf_issued : int;
+  pf_useful : int;
+  pf_late : int;
 }
 
 let row_to_string r =
@@ -166,8 +173,20 @@ let row_to_string r =
     (variant_name r.variant) r.miss_pct r.bandwidth r.instrs_between_taken
     r.tc_hit_pct
 
-let engine_config (c : sim_config) =
-  F.Engine.Config.make ~line_bytes:c.line_bytes ~miss_penalty:c.miss_penalty ()
+let ext_row_to_string r =
+  Printf.sprintf
+    "%s cache=%d cfa=%s assoc=%d policy=%s prefetch=%d miss=%.6f bw=%.6f \
+     evict=%d pf_issued=%d pf_useful=%d pf_late=%d"
+    r.layout r.cache_kb
+    (match r.cfa_kb with Some k -> string_of_int k | None -> "-")
+    r.assoc r.policy
+    (if r.prefetch then 1 else 0)
+    r.miss_pct r.bandwidth r.evictions r.pf_issued r.pf_useful r.pf_late
+
+let policy_name = function
+  | Stc_cachesim.Icache.Lru -> "lru"
+  | Stc_cachesim.Icache.Srrip -> "srrip"
+  | Stc_cachesim.Icache.Trrip _ -> "trrip"
 
 (* The cell's i-cache is fresh, so the engine result's counters equal the
    cache's own statistics snapshot; deriving the event fields from the
@@ -184,6 +203,21 @@ let emit_cell reg ~table (row : row) (r : F.Engine.result) ~has_icache =
         ("icache_victim_hits", Int r.F.Engine.icache_victim_hits);
       ]
   in
+  (* present only on non-default replacement/prefetch cells, so every
+     pre-existing cell's event record stays byte-identical *)
+  let extended_fields =
+    if (not row.prefetch) && String.equal row.policy "lru" then []
+    else
+      [
+        ("assoc", Int row.assoc);
+        ("policy", Str row.policy);
+        ("prefetch", Bool row.prefetch);
+        ("evictions", Int row.evictions);
+        ("pf_issued", Int row.pf_issued);
+        ("pf_useful", Int row.pf_useful);
+        ("pf_late", Int row.pf_late);
+      ]
+  in
   Stc_obs.Registry.event reg ~kind:(table ^ ".cell")
     ([
        ("layout", Str row.layout);
@@ -198,7 +232,7 @@ let emit_cell reg ~table (row : row) (r : F.Engine.result) ~has_icache =
        ("tc_lookups", Int r.F.Engine.tc_lookups);
        ("tc_hits", Int r.F.Engine.tc_hits);
      ]
-    @ icache_fields)
+    @ icache_fields @ extended_fields)
 
 (* A planned simulation: everything one Table 3/4 (or ablation) cell needs,
    closed over a layout built in the serial prefix.  Cells share the
@@ -216,6 +250,11 @@ type cell = {
          of a whole compiled image; results are identical by
          construction, so streamed cells share store keys with
          materialized ones *)
+  c_assoc : int;
+      (* associativity of Direct/Trace_cache variants (the extended grid
+         runs them 4-way); 1 = the paper's machine *)
+  c_policy : Stc_cachesim.Icache.policy;
+  c_fdip : F.Fdip.config option;
 }
 
 (* Compiled packed trace views, shared per layout.  Many cells replay the
@@ -282,22 +321,43 @@ module Pcache = struct
     Mutex.unlock t.m
 end
 
+(* The cell's engine config: the grid-wide parameters plus the cell's
+   own FDIP block (a [None] block fingerprints exactly like the pre-FDIP
+   config, keeping every pre-existing store key stable). *)
+let cell_engine_config cell =
+  let c = cell.c_config in
+  F.Engine.Config.make ~line_bytes:c.line_bytes ~miss_penalty:c.miss_penalty
+    ?fdip:cell.c_fdip ()
+
 (* What determines a cell's engine result beyond the (program, trace,
    layout, engine-config) fingerprints: the cache geometry implied by the
-   variant and the trace-cache size. *)
+   variant and the trace-cache size — plus, only when non-default so
+   historical keys stay unchanged, the associativity and replacement
+   policy of the extended grid. *)
 let cell_key ~prog_fp ~trace_fp cell =
   let c = cell.c_config in
+  let extended_parts =
+    (if cell.c_assoc = 1 then []
+     else [ "assoc=" ^ string_of_int cell.c_assoc ])
+    @
+    match cell.c_policy with
+    | Stc_cachesim.Icache.Lru -> []
+    | Stc_cachesim.Icache.Srrip -> [ "policy=srrip" ]
+    | Stc_cachesim.Icache.Trrip temps ->
+      [ "policy=trrip"; Stc_store.Fp.int_array temps ]
+  in
   Stc_store.Key.of_parts
-    [
-      "experiments-cell";
-      prog_fp;
-      trace_fp;
-      Stc_store.Fp.layout cell.c_layout;
-      Stc_store.Fp.engine_config (engine_config c);
-      variant_name cell.c_variant;
-      string_of_int cell.c_cache_kb;
-      string_of_int c.tc_entries;
-    ]
+    ([
+       "experiments-cell";
+       prog_fp;
+       trace_fp;
+       Stc_store.Fp.layout cell.c_layout;
+       Stc_store.Fp.engine_config (cell_engine_config cell);
+       variant_name cell.c_variant;
+       string_of_int cell.c_cache_kb;
+       string_of_int c.tc_entries;
+     ]
+    @ extended_parts)
 
 (* One timeline slice per grid cell, named so trace_report's "slowest
    cells" table reads without cross-referencing: table, layout, cache and
@@ -318,7 +378,11 @@ let cell_caches cell =
     match cell.c_variant with
     | Ideal | Tc_ideal -> None
     | Direct | Trace_cache ->
-      Some (Stc_cachesim.Icache.create ~size_bytes:(cache_kb * 1024) ())
+      (* the extended grid varies associativity and policy on these two
+         variants; the defaults reproduce the paper's machine exactly *)
+      Some
+        (Stc_cachesim.Icache.create ~assoc:cell.c_assoc ~policy:cell.c_policy
+           ~size_bytes:(cache_kb * 1024) ())
     | Two_way ->
       Some
         (Stc_cachesim.Icache.create ~assoc:2 ~size_bytes:(cache_kb * 1024) ())
@@ -355,6 +419,14 @@ let finish_cell ~metrics cell r =
          else
            100.0 *. float_of_int r.F.Engine.tc_hits
            /. float_of_int r.F.Engine.tc_lookups);
+      assoc =
+        (match cell.c_variant with Two_way -> 2 | _ -> cell.c_assoc);
+      policy = policy_name cell.c_policy;
+      prefetch = Option.is_some cell.c_fdip;
+      evictions = r.F.Engine.icache_evictions;
+      pf_issued = r.F.Engine.prefetch_issued;
+      pf_useful = r.F.Engine.prefetch_useful;
+      pf_late = r.F.Engine.prefetch_late;
     }
   in
   (match metrics with
@@ -366,7 +438,7 @@ let finish_cell ~metrics cell r =
   row
 
 let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
-  let c = cell.c_config in
+  let config = cell_engine_config cell in
   let simulate () =
     let icache, trace_cache = cell_caches cell in
     let ctx =
@@ -383,13 +455,11 @@ let exec_cell_inner ~metrics ~trace ~pcache ~store cell =
       let pl = pcache.Pcache.pl in
       let tables = F.Packed.tables pl.Pipeline.program cell.c_layout in
       let stream = F.Stream.create tables (Pipeline.test_source pl) in
-      F.Engine.run_stream ~ctx ~config:(engine_config c) ?icache ?trace_cache
-        stream
+      F.Engine.run_stream ~ctx ~config ?icache ?trace_cache stream
     end
     else
       let packed = Pcache.acquire pcache cell.c_layout in
-      F.Engine.run_packed ~ctx ~config:(engine_config c) ?icache ?trace_cache
-        packed
+      F.Engine.run_packed ~ctx ~config ?icache ?trace_cache packed
   in
   let r =
     match store with
@@ -509,7 +579,7 @@ let exec_fgroup_inner ~metrics ~trace ~store (pl : Pipeline.t) cells ~tick g =
           let cell = cells.(idxs.(i)) in
           let icache, trace_cache = cell_caches cell in
           F.Engine.Bank.spec
-            ~config:(engine_config cell.c_config)
+            ~config:(cell_engine_config cell)
             ?icache ?trace_cache ())
         cold
     in
@@ -793,6 +863,9 @@ let plan_simulate ~ctx ~streamed ?layouts config (pl : Pipeline.t) =
         c_cache_kb = cache_kb;
         c_cfa_kb = cfa_kb;
         c_streamed = streamed;
+        c_assoc = 1;
+        c_policy = Stc_cachesim.Icache.Lru;
+        c_fdip = None;
       }
       :: !cells
   in
@@ -837,6 +910,163 @@ let simulate ?(ctx = Run.default) ?(config = default_sim_config)
   Run.span ctx "simulate-grid" @@ fun () ->
   exec_cells ~ctx ~label:"simulate" ~fused pl
     (plan_simulate ~ctx ~streamed ?layouts config pl)
+
+(* ---------- extended grid: prefetch × replacement ----------
+
+   The post-paper hardware dimensions, on the paper's layouts: each of
+   the first two grid cache sizes (at its first CFA point) runs every
+   selected layout 4-way set-associative under {LRU, SRRIP, TRRIP} ×
+   {no prefetch, FDIP}.  TRRIP's per-line temperature table is derived
+   from the layout's own hotness in the serial prefix
+   ({!Stc_cachesim.Temperature.of_blocks}), so every (layout, cache)
+   pair carries its matching hint — and the table enters the cell's
+   store key by fingerprint. *)
+
+let plan_extended ~ctx ~streamed ?layouts config (pl : Pipeline.t) =
+  let algos = selected_algos layouts in
+  let cached_layout = layout_cache ~ctx pl in
+  let profile = pl.Pipeline.profile in
+  let build = build_layout ~ctx ~cached_layout profile in
+  let orig = build (algo_exn "orig") baseline_params in
+  let sizes =
+    Array.map Stc_cfg.Block.byte_size
+      pl.Pipeline.program.Stc_cfg.Program.blocks
+  in
+  let counts = P.Profile.counts profile in
+  let temperature layout =
+    Stc_cachesim.Temperature.of_blocks ~line_bytes:config.line_bytes
+      ~addrs:layout.L.Layout.addr ~sizes ~counts
+  in
+  let grid =
+    match config.grid with a :: b :: _ -> [ a; b ] | short -> short
+  in
+  let cells = ref [] in
+  List.iter
+    (fun (cache_kb, cfas) ->
+      match cfas with
+      | [] -> ()
+      | cfa :: _ ->
+        let params =
+          stc_params config ~cache_bytes:(cache_kb * 1024)
+            ~cfa_bytes:(cfa * 1024)
+        in
+        let built =
+          (orig, None)
+          :: List.map (fun a -> (build a params, Some cfa)) algos
+        in
+        List.iter
+          (fun (layout, cfa_kb) ->
+            let temps = temperature layout in
+            List.iter
+              (fun policy ->
+                List.iter
+                  (fun fdip ->
+                    cells :=
+                      {
+                        c_table = "extended";
+                        c_config = config;
+                        c_layout = layout;
+                        c_variant = Direct;
+                        c_cache_kb = cache_kb;
+                        c_cfa_kb = cfa_kb;
+                        c_streamed = streamed;
+                        c_assoc = 4;
+                        c_policy = policy;
+                        c_fdip = fdip;
+                      }
+                      :: !cells)
+                  [ None; Some F.Fdip.default ])
+              [
+                Stc_cachesim.Icache.Lru;
+                Stc_cachesim.Icache.Srrip;
+                Stc_cachesim.Icache.Trrip temps;
+              ])
+          built)
+    grid;
+  List.rev !cells
+
+let extended ?(ctx = Run.default) ?(config = default_sim_config)
+    ?(streamed = false) ?(fused = true) ?layouts pl =
+  Run.span ctx "extended-grid" @@ fun () ->
+  exec_cells ~ctx ~label:"extended" ~fused pl
+    (plan_extended ~ctx ~streamed ?layouts config pl)
+
+let print_extended rows =
+  let t =
+    Tbl.create
+      ~headers:
+        [
+          ("layout", Tbl.Left);
+          ("cache", Tbl.Right);
+          ("policy", Tbl.Left);
+          ("FDIP", Tbl.Left);
+          ("miss %", Tbl.Right);
+          ("IPC", Tbl.Right);
+          ("evictions", Tbl.Right);
+          ("issued", Tbl.Right);
+          ("useful", Tbl.Right);
+          ("late", Tbl.Right);
+        ]
+  in
+  List.iter
+    (fun r ->
+      Tbl.add_row t
+        [
+          r.layout;
+          string_of_int r.cache_kb;
+          r.policy;
+          (if r.prefetch then "on" else "off");
+          Tbl.fmiss r.miss_pct;
+          Tbl.f2 r.bandwidth;
+          string_of_int r.evictions;
+          string_of_int r.pf_issued;
+          string_of_int r.pf_useful;
+          string_of_int r.pf_late;
+        ])
+    rows;
+  print_endline
+    "Extended grid: 4-way i-cache, replacement policy x FDIP prefetching.";
+  Tbl.print t;
+  (* the headline: does a smarter frontend close the gap a smarter
+     layout closes? Compare orig+FDIP against the best layout without
+     prefetching, at the smallest extended cache size. *)
+  let smallest =
+    List.fold_left (fun acc r -> min acc r.cache_kb) max_int rows
+  in
+  let at_small = List.filter (fun r -> r.cache_kb = smallest) rows in
+  let orig_fdip =
+    List.find_opt
+      (fun r ->
+        String.equal r.layout "orig"
+        && r.prefetch
+        && String.equal r.policy "lru")
+      at_small
+  and orig_plain =
+    List.find_opt
+      (fun r ->
+        String.equal r.layout "orig"
+        && (not r.prefetch)
+        && String.equal r.policy "lru")
+      at_small
+  and best_layout =
+    List.filter
+      (fun r ->
+        (not (String.equal r.layout "orig"))
+        && (not r.prefetch)
+        && String.equal r.policy "lru")
+      at_small
+    |> function
+    | [] -> None
+    | l -> Some (List.fold_left (fun a r -> if r.miss_pct < a.miss_pct then r else a) (List.hd l) l)
+  in
+  match (orig_plain, orig_fdip, best_layout) with
+  | Some p, Some f, Some b ->
+    Printf.printf
+      "FDIP vs layout (%dKB, 4-way LRU): original code misses %.2f/100 \
+       instructions, FDIP cuts that to %.2f; the %s layout reaches %.2f \
+       with no prefetch hardware at all.\n"
+      smallest p.miss_pct f.miss_pct b.layout b.miss_pct
+  | _ -> ()
 
 (* ---------- table rendering ---------- *)
 
@@ -1074,6 +1304,9 @@ let ablation_gen ~ctx ?(streamed = false) ?(fused = true) ~cache_kb
                   c_cache_kb = cache_kb;
                   c_cfa_kb = Some a_cfa_kb;
                   c_streamed = streamed;
+                  c_assoc = 1;
+                  c_policy = Stc_cachesim.Icache.Lru;
+                  c_fdip = None;
                 }
                 :: !cells)
             cfa_kbs)

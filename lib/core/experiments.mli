@@ -69,11 +69,25 @@ type row = {
   bandwidth : float;  (** Instructions per fetch cycle. *)
   instrs_between_taken : float;
   tc_hit_pct : float;  (** Trace-cache hit rate; 0 when no trace cache. *)
+  assoc : int;  (** I-cache associativity (1 on the paper's grid). *)
+  policy : string;  (** Replacement policy name: "lru", "srrip", "trrip". *)
+  prefetch : bool;  (** FDIP enabled. *)
+  evictions : int;  (** Non-LRU replacement evictions (0 under LRU). *)
+  pf_issued : int;  (** FDIP prefetches issued (0 without FDIP). *)
+  pf_useful : int;
+  pf_late : int;
 }
 
 val row_to_string : row -> string
 (** One stable, locale-independent line per row ([%.6f] floats) — the
-    golden-regression snapshot format of [tools/golden]. *)
+    golden-regression snapshot format of [tools/golden]. Covers the
+    paper-grid fields only; {!ext_row_to_string} adds the extended
+    dimensions. *)
+
+val ext_row_to_string : row -> string
+(** Stable one-line rendering of an {!extended}-grid row: layout, cache,
+    CFA, associativity, policy, prefetch flag, miss rate, bandwidth and
+    the prefetch/eviction counters ([tools/golden]'s fourth snapshot). *)
 
 val resolve_layouts :
   string list -> (Stc_layout.Algo.t list, string) result
@@ -135,6 +149,29 @@ val simulate :
     [engine.*] counters ({!Stc_fetch.Engine.publish}) and emits the same
     [table34.cell] event a simulation would, so apart from the [store.*]
     counters a warm run's registry is byte-identical to a cold one. *)
+
+val extended :
+  ?ctx:Run.ctx ->
+  ?config:sim_config ->
+  ?streamed:bool ->
+  ?fused:bool ->
+  ?layouts:string list ->
+  Pipeline.t ->
+  row list
+(** The post-paper hardware grid: the first two cache sizes of
+    [config.grid] (each at its first CFA point), every selected layout
+    (plus "orig"), 4-way set-associative, under the cross product of
+    replacement policy (LRU, SRRIP, TRRIP) and FDIP prefetching (off,
+    on). TRRIP's per-line temperature table is derived from each
+    layout's own hotness ({!Stc_cachesim.Temperature.of_blocks}) in the
+    serial prefix. Execution, fusing, streaming, store caching, metrics
+    ([extended.cell] events, with the policy/prefetch fields and
+    counters appended) and determinism guarantees are exactly
+    {!simulate}'s. *)
+
+val print_extended : row list -> unit
+(** The extended grid as a flat table plus the FDIP-vs-layout headline
+    comparison at the smallest extended cache size. *)
 
 val print_table3 : row list -> unit
 

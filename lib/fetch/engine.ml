@@ -1,18 +1,26 @@
 module Icache = Stc_cachesim.Icache
 
 module Config = struct
-  type t = { max_branches : int; line_bytes : int; miss_penalty : int }
+  type t = {
+    max_branches : int;
+    line_bytes : int;
+    miss_penalty : int;
+    fdip : Fdip.config option;
+  }
 
-  let default = { max_branches = 3; line_bytes = 32; miss_penalty = 5 }
+  let default =
+    { max_branches = 3; line_bytes = 32; miss_penalty = 5; fdip = None }
 
-  let make ?(max_branches = 3) ?(line_bytes = 32) ?(miss_penalty = 5) () =
-    { max_branches; line_bytes; miss_penalty }
+  let make ?(max_branches = 3) ?(line_bytes = 32) ?(miss_penalty = 5) ?fdip ()
+      =
+    { max_branches; line_bytes; miss_penalty; fdip }
 end
 
 type config = Config.t = {
   max_branches : int;
   line_bytes : int;
   miss_penalty : int;
+  fdip : Fdip.config option;
 }
 
 type prediction = { pred : Predictor.t; redirect_penalty : int }
@@ -32,6 +40,11 @@ type result = {
   instrs_between_taken : float;
   cond_branches : int;
   mispredictions : int;
+  icache_evictions : int;
+  prefetch_issued : int;
+  prefetch_completed : int;
+  prefetch_late : int;
+  prefetch_useful : int;
 }
 
 let bandwidth r =
@@ -57,6 +70,11 @@ let result_fields r =
     ("instrs_between_taken", r.instrs_between_taken);
     ("cond_branches", float_of_int r.cond_branches);
     ("mispredictions", float_of_int r.mispredictions);
+    ("icache_evictions", float_of_int r.icache_evictions);
+    ("prefetch_issued", float_of_int r.prefetch_issued);
+    ("prefetch_completed", float_of_int r.prefetch_completed);
+    ("prefetch_late", float_of_int r.prefetch_late);
+    ("prefetch_useful", float_of_int r.prefetch_useful);
   ]
 
 let publish reg r =
@@ -75,6 +93,15 @@ let publish reg r =
   add "tc_hits" r.tc_hits;
   add "cond_branches" r.cond_branches;
   add "mispredictions" r.mispredictions;
+  (* the prefetch/replacement family is published only when live, so an
+     export containing only pre-PR configurations stays byte-identical;
+     results are deterministic, hence so is the condition *)
+  let addnz name v = if v <> 0 then add name v in
+  addnz "icache.replacement.evictions" r.icache_evictions;
+  addnz "prefetch.issued" r.prefetch_issued;
+  addnz "prefetch.completed" r.prefetch_completed;
+  addnz "prefetch.late" r.prefetch_late;
+  addnz "prefetch.useful" r.prefetch_useful;
   C.incr (Reg.counter reg "engine.runs")
 
 (* The packed fast path: one unsafe word read per block, all statistics
@@ -121,11 +148,23 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
   let max_branches = config.max_branches in
   let miss_penalty = config.miss_penalty in
   let instr_bytes = Stc_cfg.Block.instr_bytes in
+  (* FDIP is live only when there is an i-cache to prefetch into *)
+  let fdip =
+    match (config.fdip, icache) with
+    | Some fc, Some c -> Some (Fdip.create fc c)
+    | _ -> None
+  in
   let need =
     let tc_width =
       match trace_cache with Some tc -> Tracecache.width tc | None -> 0
     in
-    max tc_width (2 * line / instr_bytes) + 2
+    let base = max tc_width (2 * line / instr_bytes) + 2 in
+    (* the FTQ walk peeks [ftq_depth] blocks past the cycle start; the
+       refill guarantee then makes its window identical in streamed and
+       materialized replay *)
+    match config.fdip with
+    | Some fc when Option.is_some fdip -> max base (fc.Fdip.ftq_depth + 2)
+    | _ -> base
   in
   let cycles = ref 0 and penalties = ref 0 and instrs = ref 0 in
   let seq_cycles = ref 0 and tc_cycles = ref 0 in
@@ -262,6 +301,17 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
         incr ic_misses;
         false)
   in
+  (* the FDIP demand probe of one line: same local-counter batching as
+     [access_line], but the charge (not a hit bool) feeds the penalty *)
+  let demand_fdip f ~now a =
+    incr ic_accesses;
+    let o, charge = Fdip.demand f ~now ~miss_penalty a in
+    (match o with
+    | Icache.Hit -> ()
+    | Icache.Victim_hit -> incr ic_vhits
+    | Icache.Miss -> incr ic_misses);
+    charge
+  in
   while (not !eos) || !idx < !avail do
     if (not !eos) && !avail - !idx < need then refill ()
     else begin
@@ -270,6 +320,22 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
       let len = !avail in
       let packed = !bview in
       let start_idx = !idx and start_off = !off in
+      (* FDIP step 1: prefetches whose latency elapsed land in L1i.
+         [fnow] is the number this cycle is about to get; the frontend
+         runs on every cycle, trace-cache hits included. *)
+      let fnow = !cycles + 1 in
+      (match fdip with Some f -> Fdip.begin_cycle f ~now:fnow | None -> ());
+      (* FDIP step 3: after the cycle's fetch, the run-ahead FTQ walk
+         issues prefetches for the blocks from the cycle-start index *)
+      let fdip_advance () =
+        match fdip with
+        | None -> ()
+        | Some f ->
+          Fdip.advance f ~now:fnow ~nth:(fun k ->
+              let i = start_idx + k in
+              if i < len then Some (Packed.w_addr (Array.unsafe_get words i))
+              else None)
+      in
       let tc_hit =
         match trace_cache with
         | None -> None
@@ -294,7 +360,8 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
           check_prediction (Array.unsafe_get words i)
         done;
         idx := stop;
-        off := info.Tracecache.end_pos.View.off
+        off := info.Tracecache.end_pos.View.off;
+        fdip_advance ()
       | Some _ | None ->
         (* sequential cycle *)
         incr cycles;
@@ -304,9 +371,19 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
           + (start_off * instr_bytes)
         in
         let line_no = a / line in
-        let hit1 = access_line (line_no * line) in
-        let hit2 = access_line ((line_no + 1) * line) in
-        if not (hit1 && hit2) then penalties := !penalties + miss_penalty;
+        (* FDIP step 2: the demand pair, each probe returning its cycle
+           charge; the cycle pays the larger one, which degenerates to
+           the historical one-penalty-if-either-line-misses rule when no
+           prefetches are in flight *)
+        (match fdip with
+        | Some f ->
+          let c1 = demand_fdip f ~now:fnow (line_no * line) in
+          let c2 = demand_fdip f ~now:fnow ((line_no + 1) * line) in
+          penalties := !penalties + (if c1 > c2 then c1 else c2)
+        | None ->
+          let hit1 = access_line (line_no * line) in
+          let hit2 = access_line ((line_no + 1) * line) in
+          if not (hit1 && hit2) then penalties := !penalties + miss_penalty);
         let window_end = (line_no + 2) * line in
         let branches = ref 0 in
         let stop = ref false in
@@ -342,7 +419,8 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
         (match trace_cache with
         | Some tc ->
           Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
-        | None -> ())
+        | None -> ());
+        fdip_advance ()
     end
   done;
   if !pulled > 0 then seg_slice ();
@@ -383,8 +461,22 @@ let run_segments ?ctx ?(config = Config.default) ?icache ?trace_cache
         (match prediction with
         | Some { pred; _ } -> Predictor.mispredictions pred
         | None -> 0);
+      icache_evictions =
+        (match icache with Some c -> Icache.evictions c | None -> 0);
+      prefetch_issued = (match fdip with Some f -> Fdip.issued f | None -> 0);
+      prefetch_completed =
+        (match fdip with Some f -> Fdip.completed f | None -> 0);
+      prefetch_late = (match fdip with Some f -> Fdip.late f | None -> 0);
+      prefetch_useful = (match fdip with Some f -> Fdip.useful f | None -> 0);
     }
   in
+  (match (tracer, fdip) with
+  | Some tr, Some f ->
+    (* one slice per replay summarizing the frontend's work *)
+    Stc_obs.Trace.complete ~arg:(Fdip.issued f) tr
+      (Stc_obs.Trace.intern tr "engine.prefetch")
+      ~start:!seg_start
+  | _ -> ());
   (match metrics with Some reg -> publish reg r | None -> ());
   r
 
@@ -436,6 +528,7 @@ module Bank = struct
     ix : int; (* input index, for result placement *)
     probe : probe;
     penalty : int;
+    s_fdip : Fdip.t option; (* per-slot decoupled frontend, if any *)
     mutable s_penalties : int;
     mutable s_acc : int;
     mutable s_miss : int;
@@ -450,6 +543,7 @@ module Bank = struct
     members : slot array;
     actives : slot array; (* members with an i-cache to probe *)
     preds : slot array; (* members with direction prediction *)
+    fdips : slot array; (* members with a live FDIP frontend *)
     need : int;
     mutable pos : int; (* global block index *)
     mutable coff : int; (* intra-block offset *)
@@ -485,10 +579,16 @@ module Bank = struct
       let slots =
         Array.mapi
           (fun ix sp ->
+            let s_fdip =
+              match (sp.config.fdip, sp.icache) with
+              | Some fc, Some c -> Some (Fdip.create fc c)
+              | _ -> None
+            in
             let probe =
               match sp.icache with
               | None -> No_cache
-              | Some c when Icache.plain_direct c -> Direct c
+              | Some c when Icache.plain_direct c && Option.is_none s_fdip ->
+                Direct c
               | Some c -> Generic c
             in
             {
@@ -496,6 +596,7 @@ module Bank = struct
               ix;
               probe;
               penalty = sp.config.miss_penalty;
+              s_fdip;
               s_penalties = 0;
               s_acc = 0;
               s_miss = 0;
@@ -536,8 +637,26 @@ module Bank = struct
                       (fun s -> Option.is_some s.sp.prediction)
                       (Array.to_list members))
                in
+               let fdips =
+                 Array.of_list
+                   (List.filter
+                      (fun s -> Option.is_some s.s_fdip)
+                      (Array.to_list members))
+               in
                let tc_width =
                  match tc with Some tc -> Tracecache.width tc | None -> 0
+               in
+               let need =
+                 let base = max tc_width (2 * line / instr_bytes) + 2 in
+                 (* the deepest member FTQ bounds the cohort's forward
+                    reach within one cycle, as in the solo engine *)
+                 Array.fold_left
+                   (fun m s ->
+                     match s.sp.config.fdip with
+                     | Some fc when Option.is_some s.s_fdip ->
+                       max m (fc.Fdip.ftq_depth + 2)
+                     | _ -> m)
+                   base members
                in
                {
                  line;
@@ -546,7 +665,8 @@ module Bank = struct
                  members;
                  actives;
                  preds;
-                 need = max tc_width (2 * line / instr_bytes) + 2;
+                 fdips;
+                 need;
                  pos = 0;
                  coff = 0;
                  ccycles = 0;
@@ -620,10 +740,27 @@ module Bank = struct
       let refill () =
         match pull () with None -> eos := true | Some p -> append p
       in
-      let probe_slot s a1 a2 =
-        match s.probe with
-        | No_cache -> ()
-        | Direct c ->
+      let probe_slot s ~now a1 a2 =
+        match s.s_fdip with
+        | Some f ->
+          (* demand pair through the slot's frontend; the cycle pays the
+             larger charge, as in the solo engine *)
+          s.s_acc <- s.s_acc + 2;
+          let count (o : Icache.outcome) =
+            match o with
+            | Icache.Hit -> ()
+            | Icache.Victim_hit -> s.s_vhit <- s.s_vhit + 1
+            | Icache.Miss -> s.s_miss <- s.s_miss + 1
+          in
+          let o1, c1 = Fdip.demand f ~now ~miss_penalty:s.penalty a1 in
+          count o1;
+          let o2, c2 = Fdip.demand f ~now ~miss_penalty:s.penalty a2 in
+          count o2;
+          s.s_penalties <- s.s_penalties + (if c1 > c2 then c1 else c2)
+        | None -> (
+          match s.probe with
+          | No_cache -> ()
+          | Direct c ->
           s.s_acc <- s.s_acc + 2;
           let h1 = Icache.probe_direct c a1 in
           let h2 = Icache.probe_direct c a2 in
@@ -646,7 +783,7 @@ module Bank = struct
           in
           let h1 = probe a1 in
           let h2 = probe a2 in
-          if not (h1 && h2) then s.s_penalties <- s.s_penalties + s.penalty
+          if not (h1 && h2) then s.s_penalties <- s.s_penalties + s.penalty)
       in
       (* per conditional branch (callers test [w_cond] first, so the
          common all-sequential block costs no call): count it once for
@@ -675,6 +812,28 @@ module Bank = struct
         let len = !avail in
         let packed = !bview in
         let start_idx = h.pos - !dropped and start_off = h.coff in
+        (* FDIP steps 1 and 3 bracket the cycle for every frontend-bearing
+           member, exactly as in the solo engine: land elapsed prefetches
+           first, walk the FTQ from the cycle-start index last *)
+        let fnow = h.ccycles + 1 in
+        let fdips = h.fdips in
+        for i = 0 to Array.length fdips - 1 do
+          match (Array.unsafe_get fdips i).s_fdip with
+          | Some f -> Fdip.begin_cycle f ~now:fnow
+          | None -> ()
+        done;
+        let fdip_advance () =
+          for i = 0 to Array.length fdips - 1 do
+            match (Array.unsafe_get fdips i).s_fdip with
+            | Some f ->
+              Fdip.advance f ~now:fnow ~nth:(fun k ->
+                  let i = start_idx + k in
+                  if i < len then
+                    Some (Packed.w_addr (Array.unsafe_get words i))
+                  else None)
+            | None -> ()
+          done
+        in
         let tc_hit =
           match h.tc with
           | None -> None
@@ -698,7 +857,8 @@ module Bank = struct
             if Packed.w_cond w then cond_block h w
           done;
           h.pos <- !dropped + stop;
-          h.coff <- info.Tracecache.end_pos.View.off
+          h.coff <- info.Tracecache.end_pos.View.off;
+          fdip_advance ()
         | Some _ | None ->
           h.ccycles <- h.ccycles + 1;
           h.cseq <- h.cseq + 1;
@@ -710,7 +870,7 @@ module Bank = struct
           let a1 = line_no * h.line and a2 = (line_no + 1) * h.line in
           let actives = h.actives in
           for i = 0 to Array.length actives - 1 do
-            probe_slot (Array.unsafe_get actives i) a1 a2
+            probe_slot (Array.unsafe_get actives i) ~now:fnow a1 a2
           done;
           let window_end = (line_no + 2) * h.line in
           let idx = ref start_idx and off = ref start_off in
@@ -750,7 +910,8 @@ module Bank = struct
             Tracecache.fill_packed tc packed ~idx:start_idx ~off:start_off
           | None -> ());
           h.pos <- !dropped + !idx;
-          h.coff <- !off
+          h.coff <- !off;
+          fdip_advance ()
       in
       let finished () =
         Array.for_all (fun h -> h.pos - !dropped >= !avail) cohorts
@@ -827,6 +988,24 @@ module Bank = struct
                   mispredictions =
                     (match s.sp.prediction with
                     | Some { pred; _ } -> Predictor.mispredictions pred
+                    | None -> 0);
+                  icache_evictions =
+                    (match s.sp.icache with
+                    | Some c -> Icache.evictions c
+                    | None -> 0);
+                  prefetch_issued =
+                    (match s.s_fdip with
+                    | Some f -> Fdip.issued f
+                    | None -> 0);
+                  prefetch_completed =
+                    (match s.s_fdip with
+                    | Some f -> Fdip.completed f
+                    | None -> 0);
+                  prefetch_late =
+                    (match s.s_fdip with Some f -> Fdip.late f | None -> 0);
+                  prefetch_useful =
+                    (match s.s_fdip with
+                    | Some f -> Fdip.useful f
                     | None -> 0);
                 }
               in
@@ -905,8 +1084,37 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
     | None -> true
     | Some c -> Icache.access c a
   in
+  (* FDIP is live only when there is an i-cache to prefetch into *)
+  let fdip =
+    match (config.fdip, icache) with
+    | Some fc, Some c -> Some (Fdip.create fc c)
+    | _ -> None
+  in
+  (* naive counts per access, so each frontend demand flushes its single
+     outcome into the shared counters immediately *)
+  let demand_fdip f ~now c a =
+    let o, charge = Fdip.demand f ~now ~miss_penalty:config.miss_penalty a in
+    (match o with
+    | Icache.Hit -> Icache.add_stats c ~accesses:1 ~misses:0 ~victim_hits:0
+    | Icache.Victim_hit ->
+      Icache.add_stats c ~accesses:1 ~misses:0 ~victim_hits:1
+    | Icache.Miss -> Icache.add_stats c ~accesses:1 ~misses:1 ~victim_hits:0);
+    charge
+  in
   while !idx < len do
     let pos = { View.idx = !idx; off = !off } in
+    let start_idx = !idx in
+    (* FDIP steps 1 and 3 bracket the cycle, as in the packed engine *)
+    let fnow = !cycles + 1 in
+    (match fdip with Some f -> Fdip.begin_cycle f ~now:fnow | None -> ());
+    let fdip_advance () =
+      match fdip with
+      | None -> ()
+      | Some f ->
+        Fdip.advance f ~now:fnow ~nth:(fun k ->
+            let i = start_idx + k in
+            if i < len then Some (View.block_addr view i) else None)
+    in
     let tc_hit =
       match trace_cache with
       | None -> None
@@ -924,16 +1132,25 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
         check_prediction i
       done;
       idx := stop;
-      off := info.Tracecache.end_pos.View.off
+      off := info.Tracecache.end_pos.View.off;
+      fdip_advance ()
     | Some _ | None ->
       (* sequential cycle *)
       incr cycles;
       incr seq_cycles;
       let a = View.addr view pos in
       let line_no = a / line in
-      let hit1 = access_line (line_no * line) in
-      let hit2 = access_line ((line_no + 1) * line) in
-      if not (hit1 && hit2) then penalties := !penalties + config.miss_penalty;
+      (match fdip with
+      | Some f ->
+        let c = Option.get icache in
+        let c1 = demand_fdip f ~now:fnow c (line_no * line) in
+        let c2 = demand_fdip f ~now:fnow c ((line_no + 1) * line) in
+        penalties := !penalties + (if c1 > c2 then c1 else c2)
+      | None ->
+        let hit1 = access_line (line_no * line) in
+        let hit2 = access_line ((line_no + 1) * line) in
+        if not (hit1 && hit2) then
+          penalties := !penalties + config.miss_penalty);
       let window_end = (line_no + 2) * line in
       let branches = ref 0 in
       let stop = ref false in
@@ -968,7 +1185,8 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
       (* the fill unit builds a new trace at the missed fetch address *)
       (match trace_cache with
       | Some tc -> Tracecache.fill tc view pos
-      | None -> ())
+      | None -> ());
+      fdip_advance ()
   done;
   let icache_accesses, icache_misses, icache_victim_hits =
     match icache with
@@ -1002,6 +1220,13 @@ let run_naive ?ctx ?(config = Config.default) ?icache ?trace_cache ?prediction
         (match prediction with
         | Some { pred; _ } -> Predictor.mispredictions pred
         | None -> 0);
+      icache_evictions =
+        (match icache with Some c -> Icache.evictions c | None -> 0);
+      prefetch_issued = (match fdip with Some f -> Fdip.issued f | None -> 0);
+      prefetch_completed =
+        (match fdip with Some f -> Fdip.completed f | None -> 0);
+      prefetch_late = (match fdip with Some f -> Fdip.late f | None -> 0);
+      prefetch_useful = (match fdip with Some f -> Fdip.useful f | None -> 0);
     }
   in
   (match metrics with Some reg -> publish reg r | None -> ());

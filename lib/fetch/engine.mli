@@ -21,13 +21,24 @@ module Config : sig
     max_branches : int;
     line_bytes : int;
     miss_penalty : int;
+    fdip : Fdip.config option;
+        (** Decoupled-frontend prefetching ({!Fdip}); [None] (the
+            default) is the paper's machine, bit-identical to the
+            pre-FDIP engine. Live only when the run also has an
+            i-cache. *)
   }
 
   val default : t
-  (** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty. *)
+  (** 3 branches, 32-byte lines (8 instructions each), 5-cycle penalty,
+      no prefetching. *)
 
   val make :
-    ?max_branches:int -> ?line_bytes:int -> ?miss_penalty:int -> unit -> t
+    ?max_branches:int ->
+    ?line_bytes:int ->
+    ?miss_penalty:int ->
+    ?fdip:Fdip.config ->
+    unit ->
+    t
   (** Override any subset of {!default}. *)
 end
 
@@ -55,6 +66,14 @@ type result = {
   instrs_between_taken : float;
   cond_branches : int;
   mispredictions : int;
+  icache_evictions : int;
+      (** Valid lines evicted under a non-LRU replacement policy (0 on
+          the historical LRU paths; see
+          {!Stc_cachesim.Icache.evictions}). *)
+  prefetch_issued : int;  (** FDIP prefetches issued (0 without FDIP). *)
+  prefetch_completed : int;  (** Prefetch fills that landed. *)
+  prefetch_late : int;  (** Demands that caught their line in flight. *)
+  prefetch_useful : int;  (** Demand hits on untouched prefetched lines. *)
 }
 
 val bandwidth : result -> float

@@ -693,7 +693,9 @@ end
 module Result = struct
   let kind = "result"
 
-  let version = 1
+  (* v2 appends the replacement/prefetch family; v1 entries decode as
+     Stale and re-simulate, never as silently-zeroed results *)
+  let version = 2
 
   let encode (r : Engine.result) =
     let b = Buffer.create 128 in
@@ -711,6 +713,11 @@ module Result = struct
     Enc.float b r.Engine.instrs_between_taken;
     Enc.varint b r.Engine.cond_branches;
     Enc.varint b r.Engine.mispredictions;
+    Enc.varint b r.Engine.icache_evictions;
+    Enc.varint b r.Engine.prefetch_issued;
+    Enc.varint b r.Engine.prefetch_completed;
+    Enc.varint b r.Engine.prefetch_late;
+    Enc.varint b r.Engine.prefetch_useful;
     Buffer.contents b
 
   let decode payload =
@@ -729,6 +736,11 @@ module Result = struct
     let instrs_between_taken = Dec.float d in
     let cond_branches = Dec.varint d in
     let mispredictions = Dec.varint d in
+    let icache_evictions = Dec.varint d in
+    let prefetch_issued = Dec.varint d in
+    let prefetch_completed = Dec.varint d in
+    let prefetch_late = Dec.varint d in
+    let prefetch_useful = Dec.varint d in
     Dec.finish d;
     {
       Engine.instrs;
@@ -745,6 +757,11 @@ module Result = struct
       instrs_between_taken;
       cond_branches;
       mispredictions;
+      icache_evictions;
+      prefetch_issued;
+      prefetch_completed;
+      prefetch_late;
+      prefetch_useful;
     }
 
   let load t ~key = load_with t ~kind ~version ~decode key
@@ -830,11 +847,27 @@ module Fp = struct
     Fnv.to_hex h
 
   let engine_config (c : Engine.config) =
-    Fnv.empty
-    |> Fun.flip Fnv.int c.Engine.Config.max_branches
-    |> Fun.flip Fnv.int c.Engine.Config.line_bytes
-    |> Fun.flip Fnv.int c.Engine.Config.miss_penalty
-    |> Fnv.to_hex
+    let h =
+      Fnv.empty
+      |> Fun.flip Fnv.int c.Engine.Config.max_branches
+      |> Fun.flip Fnv.int c.Engine.Config.line_bytes
+      |> Fun.flip Fnv.int c.Engine.Config.miss_penalty
+    in
+    (* folded only when present, so every pre-FDIP key is unchanged *)
+    let h =
+      match c.Engine.Config.fdip with
+      | None -> h
+      | Some f ->
+        Fnv.int h 1
+        |> Fun.flip Fnv.int f.Stc_fetch.Fdip.ftq_depth
+        |> Fun.flip Fnv.int f.Stc_fetch.Fdip.mshrs
+        |> Fun.flip Fnv.int f.Stc_fetch.Fdip.degree
+        |> Fun.flip Fnv.int f.Stc_fetch.Fdip.latency
+    in
+    Fnv.to_hex h
+
+  let int_array (a : int array) =
+    Fnv.to_hex (Fnv.ints (Fnv.int Fnv.empty (Array.length a)) a)
 end
 
 (* ------------------------------------------------------------------ *)

@@ -265,6 +265,13 @@ module Fp : sig
   (** The recorded ids ({!Stc_trace.Recorder.hash}) plus the marks. *)
 
   val engine_config : Stc_fetch.Engine.config -> string
+  (** Every engine parameter, the FDIP block included when present; a
+      [fdip = None] config hashes exactly as it did before the field
+      existed, so pre-FDIP keys are stable. *)
+
+  val int_array : int array -> string
+  (** Length-prefixed FNV of an int array — e.g. a TRRIP temperature
+      table entering a cell key. *)
 end
 
 (** {2 Statistics and inspection} *)

@@ -21,4 +21,5 @@ let () =
       ("store", Test_store.suite);
       ("extensions", Test_extensions.suite);
       ("check", Test_check.suite);
+      ("prefetch", Test_prefetch.suite);
     ]

@@ -276,12 +276,24 @@ let test_oracle_icache_stream () =
           assoc victim_lines msg)
     [ (1, 0, 1024); (1, 8, 1024); (2, 0, 2048); (4, 16, 4096); (2, 2, 512) ]
 
+let case ?(kb = 1) ?(assoc = 1) ?(victim_lines = 0) ?(tc = false)
+    ?(policy = C.P_lru) ?fdip name =
+  { C.case_name = name; kb; assoc; victim_lines; tc; policy; fdip }
+
 let small_cases =
   [
-    { C.case_name = "1kb-direct"; kb = 1; assoc = 1; victim_lines = 0; tc = false };
-    { C.case_name = "1kb-victim4"; kb = 1; assoc = 1; victim_lines = 4; tc = false };
-    { C.case_name = "1kb-2way-tc"; kb = 1; assoc = 2; victim_lines = 0; tc = true };
-    { C.case_name = "ideal-tc"; kb = 0; assoc = 1; victim_lines = 0; tc = true };
+    case "1kb-direct";
+    case "1kb-victim4" ~victim_lines:4;
+    case "1kb-2way-tc" ~assoc:2 ~tc:true;
+    case "ideal-tc" ~kb:0 ~tc:true;
+    (* tiny caches under the post-paper mechanisms: RRIP aging and FDIP
+       prefetch traffic both churn constantly at this size *)
+    case "1kb-4way-srrip" ~assoc:4 ~policy:C.P_srrip;
+    case "1kb-4way-trrip" ~assoc:4 ~policy:C.P_trrip;
+    case "1kb-direct-fdip" ~fdip:Stc_fetch.Fdip.default;
+    case "1kb-4way-trrip-fdip" ~assoc:4 ~policy:C.P_trrip
+      ~fdip:Stc_fetch.Fdip.default;
+    case "1kb-fdip-tc" ~tc:true ~fdip:Stc_fetch.Fdip.default;
   ]
 
 let prop_oracle_engines_agree =
@@ -308,7 +320,9 @@ let prop_oracle_engines_agree =
           | None -> ()
           | Some d ->
             QCheck.Test.fail_reportf "%s: icache diverged: %s" r.C.er_case d)
-        (C.diff_cases ~layout_name:"rand" view small_cases);
+        (C.diff_cases
+           ~temperature:(Array.init 64 (fun i -> i mod 3))
+           ~layout_name:"rand" view small_cases);
       true)
 
 let suite =

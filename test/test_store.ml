@@ -205,7 +205,7 @@ let prop_result_codec =
   QCheck.Test.make ~name:"result codec roundtrip" ~count:100
     QCheck.(
       pair
-        (array_of_size (QCheck.Gen.return 13) (int_bound 1_000_000_000))
+        (array_of_size (QCheck.Gen.return 18) (int_bound 1_000_000_000))
         pos_float)
     (fun (f, instrs_between_taken) ->
       let r =
@@ -224,6 +224,11 @@ let prop_result_codec =
           instrs_between_taken;
           cond_branches = f.(11);
           mispredictions = f.(12);
+          icache_evictions = f.(13);
+          prefetch_issued = f.(14);
+          prefetch_completed = f.(15);
+          prefetch_late = f.(16);
+          prefetch_useful = f.(17);
         }
       in
       Store.Result.decode (Store.Result.encode r) = r)

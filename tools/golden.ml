@@ -4,10 +4,12 @@
      golden [--update] [--golden DIR] [--jobs N] [--seed N] [--stream]
             [--no-fuse] [--layouts CSV]
 
-   One quick pipeline run (seeded, default 1) produces three artifacts:
+   One quick pipeline run (seeded, default 1) produces four artifacts:
 
      simulate_rows.txt   Experiments.simulate, one row_to_string per line
      ablation_rows.txt   Experiments.ablation, one line per sweep point
+     extended_rows.txt   Experiments.extended (policy × prefetch grid),
+                         one ext_row_to_string per line
      metrics.jsonl       the full Stc_obs.Export of the run
 
    Without --update each is compared against DIR (default "golden"): the
@@ -15,8 +17,10 @@
    store.* ignored (the artifact store may or may not be warm) — which
    also ignores span seconds, so the comparison is stable across
    machines and --jobs values (the registry's determinism guarantee).
-   A missing snapshot is a hard error, never a silent pass: regenerate
-   with --update and commit the result.
+   A missing golden directory, a missing snapshot file or an empty one
+   is a hard error (exit 2), never a silent pass: regenerate with
+   --update and commit the result. The directory check runs before the
+   pipeline, so a misconfigured checkout fails in milliseconds.
 
    --stream replays every simulation cell through the bounded segment
    pipeline (Engine.run_stream) instead of a materialized packed image;
@@ -132,6 +136,16 @@ let diff_lines ~name golden current =
 
 let () =
   let update, dir, jobs, seed, streamed, fused, layouts = parse_args () in
+  (* Refuse a comparison against nothing before paying for the run: an
+     absent golden directory used to surface only as per-file read
+     errors after the full pipeline had completed. *)
+  if (not update) && not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf
+      "golden: snapshot directory %s missing — run with --update and commit \
+       the result\n"
+      dir;
+    exit 2
+  end;
   let reg = Obs.Registry.create () in
   let ctx =
     Run.default |> Run.with_metrics reg |> Run.with_seed seed
@@ -144,15 +158,21 @@ let () =
   let abl_lines =
     List.map E.ablation_row_to_string (E.ablation ~ctx ~streamed ~fused pl)
   in
+  let ext_lines =
+    List.map E.ext_row_to_string (E.extended ~ctx ~streamed ~fused ?layouts pl)
+  in
   let sim_path = Filename.concat dir "simulate_rows.txt" in
   let abl_path = Filename.concat dir "ablation_rows.txt" in
+  let ext_path = Filename.concat dir "extended_rows.txt" in
   let met_path = Filename.concat dir "metrics.jsonl" in
   if update then begin
     if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
     write_lines sim_path sim_lines;
     write_lines abl_path abl_lines;
+    write_lines ext_path ext_lines;
     Obs.Export.write_file reg met_path;
-    Printf.printf "golden: wrote %s, %s, %s\n" sim_path abl_path met_path
+    Printf.printf "golden: wrote %s, %s, %s, %s\n" sim_path abl_path ext_path
+      met_path
   end
   else begin
     let require = function
@@ -164,8 +184,21 @@ let () =
           e;
         exit 2
     in
-    let sim_golden = require (read_lines sim_path) in
-    let abl_golden = require (read_lines abl_path) in
+    (* An empty row snapshot means a botched --update, not an empty
+       grid: no configuration of the harness produces zero rows. *)
+    let require_lines path =
+      match require (read_lines path) with
+      | [] ->
+        Printf.eprintf
+          "golden: %s is empty — snapshot damaged; run with --update and \
+           commit the result\n"
+          path;
+        exit 2
+      | lines -> lines
+    in
+    let sim_golden = require_lines sim_path in
+    let abl_golden = require_lines abl_path in
+    let ext_golden = require_lines ext_path in
     let met_golden = require (Obs.Diff.load_file met_path) in
     (* current metrics go through the same serialize/parse round trip *)
     let met_tmp = Filename.temp_file "golden_current" ".jsonl" in
@@ -175,6 +208,7 @@ let () =
     let drift =
       diff_lines ~name:"simulate_rows" sim_golden sim_lines
       @ diff_lines ~name:"ablation_rows" abl_golden abl_lines
+      @ diff_lines ~name:"extended_rows" ext_golden ext_lines
       @ fst
           (Obs.Diff.diff_records ~ignores:[ "store." ] ~a_label:met_path
              ~b_label:"current run" met_golden met_current)
@@ -182,10 +216,10 @@ let () =
     match drift with
     | [] ->
       Printf.printf
-        "golden: clean (%d simulate rows, %d ablation rows, %d metric \
-         records, jobs=%d, seed=%d%s)\n"
+        "golden: clean (%d simulate rows, %d ablation rows, %d extended \
+         rows, %d metric records, jobs=%d, seed=%d%s)\n"
         (List.length sim_lines) (List.length abl_lines)
-        (List.length met_golden) jobs seed
+        (List.length ext_lines) (List.length met_golden) jobs seed
         ((if streamed then ", streamed" else "")
         ^ if fused then "" else ", no-fuse")
     | msgs ->
